@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Setup P2: competitive dendritic solidification (paper §5.1, §7, Fig. 4).
+
+Three phases, two components, *anisotropic* gradient energy: two solid
+grains with different cubic-anisotropy orientations grow from seeds into an
+undercooled binary melt.  The paper's point: this "apparently small change"
+(P1 → P2) reshapes the kernels completely — the φ kernel roughly quadruples
+its FLOPs (Table 1) — yet needs zero manual code work.
+
+The run demonstrates the qualitative dendritic features of Fig. 4:
+anisotropic (four-fold) growth shapes, tip tracking, and the competition
+between differently oriented grains.
+
+Run:  python examples/dendritic_solidification_p2.py [steps]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.analysis import TimeSeriesWriter, phase_fractions, tip_position, track_tips
+from repro.backends.c_backend import c_compiler_available
+from repro.pfm import GrandPotentialModel, SingleBlockSolver, add_seed, make_p2
+
+
+def anisotropy_of_shape(phi: np.ndarray, phase: int) -> float:
+    """Axis-to-diagonal extent ratio of a grain (1.0 = isotropic circle)."""
+    solid = phi[..., phase] >= 0.5
+    if solid.sum() < 4:
+        return float("nan")
+    coords = np.argwhere(solid).astype(float)
+    center = coords.mean(axis=0)
+    rel = coords - center
+    along_axes = np.abs(rel).max(axis=0).mean()
+    along_diag = (np.abs(rel[:, 0] + rel[:, 1]).max() / np.sqrt(2)
+                  + np.abs(rel[:, 0] - rel[:, 1]).max() / np.sqrt(2)) / 2
+    return float(along_axes / along_diag)
+
+
+def main():
+    steps = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    report_every = max(steps // 8, 1)
+
+    params = make_p2(dim=2, delta=0.25, orientations_deg=(0.0, 45.0), undercooling=0.35)
+    model = GrandPotentialModel(params)
+
+    print("building P2 kernels (anisotropic gradient energy)...")
+    t0 = time.time()
+    kernels = model.create_kernels(variant_phi="split", variant_mu="full")
+    print(f"  done in {time.time() - t0:.1f} s")
+    phi_cost = sum(k.operation_count().normalized_flops() for k in kernels.phi_kernels)
+    print(f"  φ update: {phi_cost:.0f} normalized FLOPs/cell in 2D "
+          f"(in 3D the anisotropy roughly quadruples the φ kernel — Table 1)")
+
+    shape = (72, 72)
+    backend = "c" if c_compiler_available() else "numpy"
+    solver = SingleBlockSolver(kernels, shape, boundary="periodic", backend=backend)
+    print(f"  running with the {backend!r} backend")
+
+    liquid = params.liquid_phase
+    phi0 = np.zeros(shape + (params.n_phases,))
+    phi0[..., liquid] = 1.0
+    # grain 0: <10> oriented, grain 1: rotated by 45°
+    phi0 = add_seed(phi0, (24.0, 24.0), 5.0, 0, liquid, params.epsilon)
+    phi0 = add_seed(phi0, (48.0, 48.0), 5.0, 1, liquid, params.epsilon)
+    solver.set_state(phi0, mu=0.0)
+
+    writer = TimeSeriesWriter(
+        "dendritic_p2_timeseries.csv",
+        ["step", "solid0", "solid1", "tip0", "tip1", "aniso0", "aniso1"],
+    )
+
+    print(f"\nrunning {steps} steps on {shape} cells...")
+    print("   step   solid fractions      tip extents     shape anisotropy")
+    t0 = time.time()
+    for done in range(0, steps, report_every):
+        solver.step(min(report_every, steps - done))
+        solver.check_invariants()
+        fr = phase_fractions(solver.phi)
+        t_0 = tip_position(solver.phi, 0, growth_axis=0)
+        t_1 = tip_position(solver.phi, 1, growth_axis=0)
+        a0 = anisotropy_of_shape(solver.phi, 0)
+        a1 = anisotropy_of_shape(solver.phi, 1)
+        writer.append(step=solver.time_step, solid0=fr[0], solid1=fr[1],
+                      tip0=t_0, tip1=t_1, aniso0=a0, aniso1=a1)
+        print(f"  {solver.time_step:5d}   {fr[0]:.3f}, {fr[1]:.3f}        "
+              f"{t_0:5.1f}, {t_1:5.1f}      {a0:5.2f}, {a1:5.2f}")
+    elapsed = time.time() - t0
+    print(f"\n{steps} steps in {elapsed:.1f} s "
+          f"({steps * np.prod(shape) / elapsed / 1e6:.2f} MLUP/s, backend={backend})")
+
+    a0 = anisotropy_of_shape(solver.phi, 0)
+    a1 = anisotropy_of_shape(solver.phi, 1)
+    print(f"\ngrain shapes: <10>-oriented grain axis/diagonal ratio = {a0:.2f} (> 1 expected),")
+    print(f"              45°-rotated grain ratio = {a1:.2f} (< grain 0 expected —")
+    print("              its fast directions lie along the diagonals)")
+    print("time series written to dendritic_p2_timeseries.csv")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Distributed-memory execution on simulated MPI ranks (paper §4).
+
+Runs the binary solidification model — with Philox fluctuations enabled —
+on a block-structured domain distributed over four simulated MPI ranks, and
+verifies that the result is *bit-identical* to a single-block run: the
+ghost-layer protocol and the counter-based RNG make the decomposition
+invisible to the physics.
+
+Also reports the communication statistics (bytes exchanged per step) and
+the Morton-order block assignment.
+
+Run:  python examples/distributed_run.py
+"""
+
+import numpy as np
+
+from repro.parallel import BlockForest, DistributedSolver, run_ranks
+from repro.pfm import GrandPotentialModel, make_two_phase_binary, planar_front
+
+
+def main():
+    params = make_two_phase_binary(dim=2)
+    params.fluctuation_amplitude = 0.02   # exercise the global RNG counters
+    model = GrandPotentialModel(params)
+    kernels = model.create_kernels()
+
+    global_shape = (32, 32)
+    steps = 25
+
+    def init(offset, shape):
+        full = planar_front(
+            global_shape, params.n_phases, 0, 1, position=12.0, epsilon=params.epsilon
+        )
+        sl = tuple(slice(o, o + s) for o, s in zip(offset, shape))
+        return full[sl], 0.0
+
+    # --- reference: one block, no communication ------------------------------
+    forest_single = BlockForest(global_shape, global_shape, periodic=True)
+    ref = DistributedSolver(kernels, forest_single, comm=None)
+    ref.set_state_from(init)
+    ref.step(steps)
+    phi_ref = ref.gather("phi")
+
+    # --- 16 blocks over 4 simulated ranks --------------------------------------
+    forest = BlockForest(global_shape, (8, 8), periodic=True)
+    print(forest)
+    assignment = forest.distribute(4)
+    for rank, blocks in assignment.items():
+        print(f"  rank {rank}: blocks {blocks} (Morton-contiguous)")
+
+    def rank_program(comm):
+        solver = DistributedSolver(kernels, forest, comm=comm)
+        solver.set_state_from(init)
+        solver.step(steps)
+        phi = solver.gather("phi")
+        return phi, solver.bytes_sent
+
+    results = run_ranks(4, rank_program)
+    phi_dist = results[0][0]
+    total_bytes = sum(r[1] for r in results)
+
+    print(f"\nafter {steps} steps with fluctuations on 4 ranks:")
+    print(f"  total remote ghost traffic: {total_bytes / 1024:.1f} KiB "
+          f"({total_bytes / steps / 1024:.1f} KiB per step)")
+    identical = np.array_equal(phi_dist, phi_ref)
+    print(f"  distributed result identical to single-block run: {identical}")
+    if not identical:
+        raise SystemExit("BUG: decomposition changed the physics!")
+    solid = phi_ref[..., 0].mean()
+    print(f"  solid fraction after run: {solid:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Lattice Boltzmann through the same code-generation pipeline (paper §8).
+
+The paper's conclusion announces the generalization of the pipeline to
+"other stencil-based methods, e.g. lattice Boltzmann schemes" — this
+example delivers it: a D2Q9 BGK channel flow whose fused stream-collide
+kernel is built from the identical Field/Assignment machinery, optimized by
+the same CSE/constant-folding passes, counted by the same Table-1 FLOP
+counter, rated by the same ECM model and executed by the same backends as
+the phase-field kernels.
+
+Validation: body-force-driven Poiseuille flow against the analytic
+parabolic profile.
+
+Run:  python examples/lattice_boltzmann_channel.py
+"""
+
+import numpy as np
+
+from repro.backends.c_backend import c_compiler_available
+from repro.ir import create_kernel
+from repro.lbm import D2Q9, LBMethod, LBMSimulation, create_lbm_update
+from repro.perfmodel import ECMModel, SKYLAKE_8174
+
+
+def main():
+    g = 1e-6
+    method = LBMethod(lattice=D2Q9, relaxation_rate=1.0, force=(0.0, g))
+    nu = float(method.viscosity)
+    print(f"D2Q9 BGK, ω = {float(method.omega)}, ν = {nu:.4f} (lattice units)")
+
+    # the LBM kernel is a first-class citizen of the pipeline
+    ac, _, _ = create_lbm_update(method)
+    kernel = create_kernel(ac)
+    oc = kernel.operation_count()
+    print(f"fused stream-collide kernel: {oc}")
+    pred = ECMModel(SKYLAKE_8174).predict(kernel, (1, 4096))
+    print(f"ECM on a SKL socket: {pred}")
+
+    H, W = 33, 16
+    backend = "c" if c_compiler_available() else "numpy"
+    sim = LBMSimulation(method, (H, W), walls=[(0, -1), (0, +1)], backend=backend)
+    print(f"\nchannel {H}x{W}, bounce-back walls, force {g:g}, backend={backend!r}")
+
+    y = np.arange(H) + 0.5
+    analytic = g / (2 * nu) * y * (H - y)
+    print("\n   steps   max u_sim    max u_analytic   rel. L∞ error")
+    for _ in range(6):
+        sim.step(1000)
+        u = sim.velocity()[..., 1].mean(axis=1)
+        err = np.abs(u - analytic).max() / analytic.max()
+        print(f"  {sim.time_step:6d}   {u.max():.6e}   {analytic.max():.6e}   {err:8.2%}")
+
+    u = sim.velocity()[..., 1].mean(axis=1)
+    print("\nfinal profile (u_y across the channel):")
+    scale = 40 / u.max()
+    for j in range(H):
+        bar = "#" * int(round(u[j] * scale))
+        print(f"  y={j:2d} |{bar}")
+    print(f"\nmass conservation: total = {sim.total_mass():.12f} "
+          f"(initial {float(H * W):.1f})")
+
+
+if __name__ == "__main__":
+    main()

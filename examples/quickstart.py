@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Quickstart: from a free-energy functional to a running simulation.
+
+Walks the paper's full abstraction stack on the simplest meaningful model —
+two-phase mean curvature flow (Allen-Cahn):
+
+1. write the energy functional  Ψ = ∫ ε a(φ,∇φ) + ω(φ)/ε  dV,
+2. derive the evolution PDE by variational derivative,
+3. discretize automatically (second-order staggered finite differences),
+4. generate an optimized kernel and run it with the NumPy backend,
+5. observe the physics: a circular inclusion shrinks under its curvature,
+   dR²/dt = const — the "mean curvature flow" benchmark of §3.1.
+
+Also prints the generated C code so you can see what the backend emits.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+import sympy as sp
+
+from repro.backends import compile_numpy_kernel, create_arrays
+from repro.backends.c_backend import c_compiler_available, compile_c_kernel, generate_c_source
+from repro.discretization import FiniteDifferenceDiscretization, discretize_system
+from repro.ir import KernelConfig, create_kernel
+from repro.parallel import fill_ghosts
+from repro.symbolic import (
+    EnergyFunctional,
+    EvolutionEquation,
+    Field,
+    PDESystem,
+    fields,
+    functional_derivative,
+    gradient_norm,
+)
+
+
+def build_kernel(dx=1.0, dt=0.05, epsilon=4.0, gamma=1.0):
+    # -- 1. energy functional layer -----------------------------------------
+    phi, phi_dst = fields("phi, phi_dst: double[2D]")
+    c = phi.center()
+    a = gamma * gradient_norm(c, squared=True, dim=2)          # |∇φ|²
+    omega = gamma * 16 / sp.pi**2 * c * (1 - c)                 # double obstacle
+    functional = EnergyFunctional(
+        gradient_energy=a, potential=omega, epsilon=sp.Float(epsilon)
+    )
+
+    # -- 2. PDE layer ---------------------------------------------------------
+    tau = 1.0
+    rhs = -functional.variational_derivative(c)
+    eq = EvolutionEquation(c, rhs, relaxation=tau * epsilon)
+    system = PDESystem([eq], name="allen_cahn")
+
+    # -- 3./4. discretize + generate ------------------------------------------
+    disc = FiniteDifferenceDiscretization(dim=2)
+    ac = discretize_system(system, phi_dst, disc)
+    config = KernelConfig(parameter_values={"dt": dt, "dx_0": dx, "dx_1": dx})
+    kernel = create_kernel(ac, config)
+    return kernel
+
+
+def main():
+    kernel = build_kernel()
+    print("generated kernel:", kernel)
+    oc = kernel.operation_count()
+    print(f"per-cell cost: {oc}")
+
+    step = compile_numpy_kernel(kernel)
+
+    n = 96
+    arrays = create_arrays(kernel.fields, (n, n), ghost_layers=1)
+    # circular inclusion of phase φ=1 (radius 30) in a φ=0 matrix
+    x, y = np.indices((n, n)) + 0.5
+    r0 = 30.0
+    d = np.sqrt((x - n / 2) ** 2 + (y - n / 2) ** 2) - r0
+    arrays["phi"][1:-1, 1:-1] = np.clip(
+        0.5 - 0.5 * np.sin(np.clip(d / 4.0, -np.pi / 2, np.pi / 2)), 0, 1
+    )
+
+    def area():
+        return arrays["phi"][1:-1, 1:-1].sum()
+
+    print("\n   step     area A      dA/dt (should be ~constant < 0)")
+    a_prev, t_prev = area(), 0.0
+    for outer in range(5):
+        for _ in range(60):
+            fill_ghosts(arrays["phi"], 1, 2, mode="neumann")
+            step(arrays)
+            # the *obstacle* part of the potential: clip back to [0, 1]
+            np.clip(arrays["phi_dst"], 0.0, 1.0, out=arrays["phi_dst"])
+            arrays["phi"], arrays["phi_dst"] = arrays["phi_dst"], arrays["phi"]
+        a_now = area()
+        rate = (a_now - a_prev) / (60 * 0.05)
+        print(f"  {60 * (outer + 1):5d}  {a_now:9.1f}    {rate:8.2f}")
+        a_prev = a_now
+
+    if c_compiler_available():
+        print("\n--- generated C code (first 25 lines of the kernel body) ---")
+        src = generate_c_source(kernel)
+        body = src[src.index("void kernel"):]
+        print("\n".join(body.splitlines()[:25]))
+        # run the compiled version on the final state for a consistency check
+        ck = compile_c_kernel(kernel)
+        a_np = {k: v.copy() for k, v in arrays.items()}
+        fill_ghosts(arrays["phi"], 1, 2, mode="neumann")
+        fill_ghosts(a_np["phi"], 1, 2, mode="neumann")
+        step(a_np)
+        ck(arrays)
+        diff = np.abs(a_np["phi_dst"] - arrays["phi_dst"]).max()
+        print(f"\nC backend vs NumPy backend: max |Δ| = {diff:.2e} (bitwise: {diff == 0.0})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — Code generation for massively parallel phase-field simulations.
+
+A full reproduction of Bauer et al., SC '19 (DOI 10.1145/3295500.3356186):
+a sympy-embedded DSL for free-energy functionals, automatic variational
+derivatives and finite-difference discretization, an optimizing IR with
+NumPy/C/CUDA backends, ECM/GPU performance models, and a block-structured
+distributed-memory substrate with simulated MPI.
+
+Layer map (paper Fig. 1):
+
+=====================  ====================================
+abstraction layer      subpackage
+=====================  ====================================
+energy functional      :mod:`repro.symbolic` (+ :mod:`repro.pfm`)
+continuous PDEs        :mod:`repro.symbolic.pde`
+discretization         :mod:`repro.discretization`
+intermediate repr.     :mod:`repro.ir`, :mod:`repro.simplification`
+backends               :mod:`repro.backends`, :mod:`repro.gpu`
+performance models     :mod:`repro.perfmodel`, :mod:`repro.gpu.model`
+distributed memory     :mod:`repro.parallel`
+applications           :mod:`repro.pfm`, :mod:`repro.analysis`
+=====================  ====================================
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, backends, discretization, gpu, ir, lbm, parallel, perfmodel, pfm, rng, simplification, symbolic
+
+__all__ = [
+    "analysis",
+    "backends",
+    "discretization",
+    "gpu",
+    "ir",
+    "lbm",
+    "parallel",
+    "perfmodel",
+    "pfm",
+    "rng",
+    "simplification",
+    "symbolic",
+    "__version__",
+]

@@ -1,0 +1,138 @@
+"""Lightweight I/O for simulation results (paper §4.1 post-processing).
+
+waLBerla writes distributed surface meshes and VTK files; here the
+equivalents are compressed ``.npz`` snapshots, CSV time series, and an
+interface-cell extraction that plays the role of the coarsened surface mesh
+(it reduces a 3D field to the O(N²) set of interface cells before output).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "save_snapshot",
+    "load_snapshot",
+    "TimeSeriesWriter",
+    "extract_interface_cells",
+    "write_vtk",
+]
+
+
+def write_vtk(
+    path,
+    cell_data: dict[str, np.ndarray],
+    spacing: float = 1.0,
+    origin: tuple[float, ...] = (0.0, 0.0, 0.0),
+) -> Path:
+    """Write scalar cell fields as a legacy-VTK structured-points file.
+
+    ``cell_data`` maps names to 2D or 3D arrays (all of one shape); vector
+    fields with a trailing component axis are split into per-component
+    scalars.  The output opens directly in ParaView — the standard
+    visualization path for waLBerla results (paper §4.1).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    flat: dict[str, np.ndarray] = {}
+    shape = None
+    for name, arr in cell_data.items():
+        arr = np.asarray(arr)
+        base = arr.shape[:3] if arr.ndim >= 3 and arr.shape[-1] <= 32 else arr.shape
+        if arr.ndim in (2, 3):
+            comps = {name: arr}
+        else:
+            comps = {
+                f"{name}_{i}": arr[..., i] for i in range(arr.shape[-1])
+            }
+        for cname, carr in comps.items():
+            if carr.ndim == 2:
+                carr = carr[..., None]
+            if shape is None:
+                shape = carr.shape
+            elif carr.shape != shape:
+                raise ValueError(
+                    f"field {cname} has shape {carr.shape}, expected {shape}"
+                )
+            flat[cname] = carr
+    if shape is None:
+        raise ValueError("no fields given")
+
+    nx, ny, nz = shape
+    with open(path, "w") as f:
+        f.write("# vtk DataFile Version 3.0\n")
+        f.write("repro phase-field output\n")
+        f.write("ASCII\n")
+        f.write("DATASET STRUCTURED_POINTS\n")
+        # legacy VTK expects point counts = cell counts + 1 for CELL_DATA
+        f.write(f"DIMENSIONS {nx + 1} {ny + 1} {nz + 1}\n")
+        f.write(f"ORIGIN {origin[0]} {origin[1]} {origin[2] if len(origin) > 2 else 0.0}\n")
+        f.write(f"SPACING {spacing} {spacing} {spacing}\n")
+        f.write(f"CELL_DATA {nx * ny * nz}\n")
+        for name, arr in flat.items():
+            f.write(f"SCALARS {name} double 1\nLOOKUP_TABLE default\n")
+            # VTK is Fortran-ordered: x fastest
+            np.savetxt(f, arr.transpose(2, 1, 0).reshape(-1, 1), fmt="%.10g")
+    return path
+
+
+def save_snapshot(path, phi: np.ndarray, mu: np.ndarray, time: float, time_step: int) -> Path:
+    """Write a compressed state snapshot."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path, phi=phi, mu=mu, time=np.float64(time), time_step=np.int64(time_step)
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_snapshot(path) -> dict:
+    with np.load(path) as data:
+        return {
+            "phi": data["phi"],
+            "mu": data["mu"],
+            "time": float(data["time"]),
+            "time_step": int(data["time_step"]),
+        }
+
+
+class TimeSeriesWriter:
+    """Appends analysis rows to a CSV file (in-situ evaluation output)."""
+
+    def __init__(self, path, columns: list[str]):
+        self.path = Path(path)
+        self.columns = list(columns)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "w", newline="") as f:
+            csv.writer(f).writerow(self.columns)
+
+    def append(self, **values) -> None:
+        missing = set(self.columns) - set(values)
+        if missing:
+            raise KeyError(f"missing columns: {sorted(missing)}")
+        with open(self.path, "a", newline="") as f:
+            csv.writer(f).writerow([values[c] for c in self.columns])
+
+    def read(self) -> dict[str, np.ndarray]:
+        rows = np.genfromtxt(self.path, delimiter=",", names=True)
+        if rows.shape == ():  # single data row
+            rows = rows.reshape(1)
+        return {name: np.asarray(rows[name]) for name in rows.dtype.names}
+
+
+def extract_interface_cells(
+    phi: np.ndarray, phase_a: int, phase_b: int, threshold: float = 0.2
+) -> np.ndarray:
+    """Coordinates of cells on the a/b interface (surface-mesh stand-in).
+
+    A cell belongs to the interface when both phases are present beyond the
+    threshold.  Returns an (M, dim) integer coordinate array — typically
+    O(N^(d-1)) cells instead of N^d, the same data reduction the distributed
+    surface-mesh output achieves.
+    """
+    mask = (phi[..., phase_a] > threshold) & (phi[..., phase_b] > threshold)
+    return np.argwhere(mask)

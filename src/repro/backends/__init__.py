@@ -1,0 +1,9 @@
+"""Code generation backends: NumPy (execution), C (compiled), CUDA (source)."""
+
+from .numpy_backend import CompiledNumpyKernel, compile_numpy_kernel, create_arrays
+
+__all__ = [
+    "CompiledNumpyKernel",
+    "compile_numpy_kernel",
+    "create_arrays",
+]

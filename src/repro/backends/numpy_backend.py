@@ -1,0 +1,333 @@
+"""NumPy backend: generates and executes vectorized Python kernels.
+
+This is the reference execution engine of the pipeline (the paper's
+interactive workflow, §4.2: "generated kernels ... operate on objects
+implementing the Python buffer protocol, e.g. numpy arrays").  Every stencil
+assignment becomes a whole-array slice expression; temporaries become
+intermediate arrays; staggered (flux) writes use per-assignment regions
+extended by one face layer along the flux axis.
+
+The generated source is kept on the compiled object (``.source``) for
+inspection and testing.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from dataclasses import dataclass
+
+import numpy as np
+import sympy as sp
+from sympy.printing.numpy import NumPyPrinter
+
+from ..ir.approximations import fast_division, fast_rsqrt, fast_sqrt
+from ..ir.kernel import Kernel
+from ..symbolic.assignment import Assignment, AssignmentCollection
+from ..symbolic.coordinates import CoordinateSymbol
+from ..symbolic.field import Field, FieldAccess
+from ..symbolic.random import RandomValue, SEED, TIME_STEP
+from .runtime import RUNTIME_NAMESPACE
+
+__all__ = ["compile_numpy_kernel", "CompiledNumpyKernel", "create_arrays"]
+
+
+def create_arrays(
+    fields, interior_shape: tuple[int, ...], ghost_layers: int = 1, fill: float = 0.0
+) -> dict[str, np.ndarray]:
+    """Allocate ghost-layered arrays for a set of fields."""
+    arrays = {}
+    for f in fields:
+        shape = tuple(s + 2 * ghost_layers for s in interior_shape) + f.index_shape
+        arrays[f.name] = np.full(shape, fill, dtype=np.float64)
+    return arrays
+
+
+class _Printer(NumPyPrinter):
+    """Expression printer with symbol renaming and fast-math lowering."""
+
+    def __init__(self, rename: dict[str, str]):
+        # fully qualified names ("numpy.sqrt") keep the generated source
+        # independent of what happens to be imported into its namespace;
+        # precision 17 guarantees doubles round-trip exactly (bitwise parity
+        # with the C backend, which prints at the same precision)
+        super().__init__({"precision": 17})
+        self._rename = rename
+
+    def _print_Float(self, expr):
+        # shortest round-trip representation: bitwise parity with C backend
+        return repr(float(expr))
+
+    def _print_Symbol(self, expr):
+        return self._rename.get(expr.name, expr.name)
+
+    def _print_fast_division(self, expr):
+        return f"_fast_div({self._print(expr.args[0])}, {self._print(expr.args[1])})"
+
+    def _print_fast_sqrt(self, expr):
+        return f"_fast_sqrt({self._print(expr.args[0])})"
+
+    def _print_fast_rsqrt(self, expr):
+        return f"_fast_rsqrt({self._print(expr.args[0])})"
+
+
+def _slice_str(offset: int, lo_ext: int, hi_ext: int) -> str:
+    """Runtime-ghost-width slice: ``slice(__gl + a, (b - __gl) or None)``."""
+    a = int(offset) - lo_ext
+    b = hi_ext + int(offset)
+    return f"slice(__gl + {a}, ({b} - __gl) or None)"
+
+
+def _region_of(assignment: Assignment, dim: int) -> tuple[tuple[int, int], ...]:
+    """Write region of a main assignment: interior, extended for flux fields."""
+    ext = [(0, 0)] * dim
+    lhs = assignment.lhs
+    if isinstance(lhs, FieldAccess) and lhs.field.staggered:
+        slot_axes = getattr(lhs.field, "slot_axes", None)
+        if slot_axes is None:
+            raise ValueError(
+                f"staggered field {lhs.field.name} lacks slot_axes metadata"
+            )
+        axis = slot_axes[lhs.index[0]]
+        ext[axis] = (0, 1)
+    return tuple(ext)
+
+
+@dataclass
+class CompiledNumpyKernel:
+    """A generated, executable NumPy kernel."""
+
+    kernel: Kernel
+    source: str
+    _func: callable
+
+    @property
+    def _needs_upper_ext(self) -> int:
+        """1 if any staggered write extends one layer past the interior."""
+        return int(
+            any(
+                isinstance(a.lhs, FieldAccess) and a.lhs.field.staggered
+                for a in self.kernel.ac.main_assignments
+            )
+        )
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+    def __call__(
+        self,
+        arrays: dict[str, np.ndarray],
+        block_offset: tuple[int, ...] = (0, 0, 0),
+        origin: tuple[float, ...] = (0.0, 0.0, 0.0),
+        ghost_layers: int | None = None,
+        **params,
+    ) -> None:
+        """Execute one sweep over the interior of *arrays* (in place).
+
+        ``arrays`` maps field names to ghost-layered ndarrays; ``params``
+        supplies every free kernel parameter by name (``dt``, ``dx_0``, model
+        constants, ``t``, ``time_step``, ``seed`` …).  ``ghost_layers`` is
+        the actual ghost width of the arrays (defaults to the kernel's
+        minimum requirement).
+        """
+        gl = self.kernel.ghost_layers if ghost_layers is None else int(ghost_layers)
+        min_gl = max(self.kernel.ghost_layers, self._needs_upper_ext)
+        if gl < min_gl:
+            raise ValueError(
+                f"kernel {self.name} needs at least {min_gl} ghost layers, got {gl}"
+            )
+        missing = [f.name for f in self.kernel.fields if f.name not in arrays]
+        if missing:
+            raise KeyError(f"missing arrays for fields: {missing}")
+        spatial = None
+        for f in self.kernel.fields:
+            a = arrays[f.name]
+            s = a.shape[: self.kernel.dim]
+            if spatial is None:
+                spatial = s
+            elif s != spatial:
+                raise ValueError(
+                    f"inconsistent spatial shapes: {f.name} has {s}, expected {spatial}"
+                )
+            if any(dim_len < 2 * gl + 1 for dim_len in s):
+                raise ValueError(f"array {f.name} too small for {gl} ghost layers")
+        needed = {p.name for p in self.kernel.parameters} - {"time_step", "seed"}
+        for d in self.kernel.coordinate_axes:
+            if self.kernel.folded_value(f"dx_{d}") is None:
+                needed.add(f"dx_{d}")
+        missing_params = needed - set(params)
+        if missing_params:
+            raise KeyError(f"missing kernel parameters: {sorted(missing_params)}")
+        self._func(arrays, params, tuple(block_offset), tuple(origin), gl)
+
+
+def compile_numpy_kernel(kernel: Kernel) -> CompiledNumpyKernel:
+    """Generate and compile the NumPy implementation of *kernel*."""
+    src = generate_numpy_source(kernel)
+    import builtins
+    import functools
+
+    namespace = dict(RUNTIME_NAMESPACE)
+    namespace["numpy"] = np
+    namespace["functools"] = functools
+    namespace["builtins"] = builtins
+    exec(compile(src, f"<numpy kernel {kernel.name}>", "exec"), namespace)
+    return CompiledNumpyKernel(kernel, src, namespace["_kernel"])
+
+
+def generate_numpy_source(kernel: Kernel) -> str:
+    """Produce the Python source of the vectorized kernel."""
+    ac = kernel.ac
+    dim = kernel.dim
+    gl = kernel.ghost_layers
+
+    # group main assignments by write region (flux kernels have per-axis regions)
+    groups: dict[tuple, list[Assignment]] = {}
+    for a in ac.main_assignments:
+        groups.setdefault(_region_of(a, dim), []).append(a)
+
+    param_names = sorted(p.name for p in kernel.parameters)
+    body: list[str] = []
+    body.append(f"# generated NumPy kernel: {kernel.name}")
+    body.append("def _kernel(__arrays, __params, __block_offset, __origin, __gl):")
+    ind = "    "
+    ref_field = sorted(ac.fields, key=lambda f: f.name)[0]
+    body.append(ind + f"__shape = __arrays[{ref_field.name!r}].shape")
+    for p in param_names:
+        if p in ("time_step", "seed"):
+            body.append(ind + f"{p} = __params.get({p!r}, 0)")
+        else:
+            body.append(ind + f"{p} = __params[{p!r}]")
+
+    for gid, (region, assignments) in enumerate(sorted(groups.items())):
+        body.extend(
+            _emit_region_block(kernel, region, assignments, gid, ind)
+        )
+    body.append(ind + "return None")
+    return "\n".join(body) + "\n"
+
+
+def _needed_subexpressions(
+    ac: AssignmentCollection, targets: list[Assignment]
+) -> list[Assignment]:
+    """Subset of subexpressions (in order) feeding the given main assignments."""
+    needed: set[sp.Symbol] = set()
+    for a in targets:
+        needed |= a.rhs.free_symbols
+    chosen: list[Assignment] = []
+    for a in reversed(ac.subexpressions):
+        if a.lhs in needed:
+            chosen.append(a)
+            needed |= a.rhs.free_symbols
+    return list(reversed(chosen))
+
+
+def _emit_region_block(
+    kernel: Kernel,
+    region: tuple[tuple[int, int], ...],
+    assignments: list[Assignment],
+    gid: int,
+    ind: str,
+) -> list[str]:
+    ac = kernel.ac
+    dim = kernel.dim
+    gl = kernel.ghost_layers
+    sub = _needed_subexpressions(ac, assignments)
+    exprs = [a.rhs for a in sub + assignments]
+
+    # gather atoms
+    reads: set[FieldAccess] = set()
+    coords: set[CoordinateSymbol] = set()
+    rngs: set[RandomValue] = set()
+    for e in exprs:
+        reads |= e.atoms(FieldAccess)
+        coords |= e.atoms(CoordinateSymbol)
+        rngs |= e.atoms(RandomValue)
+
+    suffix = f"__r{gid}"
+    rename: dict[str, str] = {}
+    lines: list[str] = [ind + f"# region {region}"]
+
+    # field read bindings
+    for acc in sorted(reads, key=lambda a: a.name):
+        slices = ", ".join(
+            _slice_str(acc.offsets[d], region[d][0], region[d][1])
+            for d in range(dim)
+        )
+        idx = "".join(f", {i}" for i in acc.index)
+        rename[acc.name] = acc.name + suffix
+        lines.append(
+            ind + f"{acc.name}{suffix} = __arrays[{acc.field.name!r}][{slices}{idx}]"
+        )
+
+    # coordinate bindings (cell-centre positions over this region)
+    for c in sorted(coords, key=lambda s: s.axis):
+        d = c.axis
+        lo, hi = region[d]
+        n_expr = f"__shape[{d}] - 2 * __gl + {lo + hi}"
+        reshape = ", ".join("-1" if dd == d else "1" for dd in range(dim))
+        folded = kernel.folded_value(f"dx_{d}")
+        h_expr = repr(float(folded)) if folded is not None else f"__params['dx_{d}']"
+        rename[c.name] = c.name + suffix
+        lines.append(
+            ind
+            + f"{c.name}{suffix} = (__origin[{d}] + (np.arange({n_expr}) "
+            + f"+ __block_offset[{d}] - {lo} + 0.5) * {h_expr})"
+            + (f".reshape({reshape})" if dim > 1 else "")
+        )
+
+    # RNG bindings
+    rng_map: dict[RandomValue, sp.Symbol] = {}
+    printer0 = _Printer(rename)
+    region_shape = (
+        "("
+        + ", ".join(
+            f"__shape[{d}] - 2 * __gl + {region[d][0] + region[d][1]}"
+            for d in range(dim)
+        )
+        + ("," if dim == 1 else "")
+        + ")"
+    )
+    region_offset = (
+        "("
+        + ", ".join(f"__block_offset[{d}] - {region[d][0]}" for d in range(dim))
+        + ("," if dim == 1 else "")
+        + ")"
+    )
+    for r in sorted(rngs, key=lambda r: r.stream):
+        sym = sp.Symbol(f"__rng_{r.stream}{suffix}", real=True)
+        rng_map[r] = sym
+        low = printer0.doprint(r.low)
+        high = printer0.doprint(r.high)
+        ts = "__params.get('time_step', 0)"
+        seed = "__params.get('seed', 0)"
+        lines.append(
+            ind
+            + f"{sym.name} = _rng_uniform({region_shape}, {ts}, {seed}, "
+            + f"{r.stream}, {region_offset}, {low}, {high})"
+        )
+
+    printer = _Printer(rename)
+
+    def pr(expr: sp.Expr) -> str:
+        if rng_map:
+            expr = expr.xreplace(rng_map)
+        return printer.doprint(expr)
+
+    # subexpressions
+    for a in sub:
+        rename[a.lhs.name] = a.lhs.name + suffix
+        lines.append(ind + f"{a.lhs.name}{suffix} = {pr(a.rhs)}")
+
+    # main stores
+    for a in assignments:
+        lhs: FieldAccess = a.lhs
+        slices = ", ".join(
+            _slice_str(lhs.offsets[d], region[d][0], region[d][1])
+            for d in range(dim)
+        )
+        idx = "".join(f", {i}" for i in lhs.index)
+        lines.append(
+            ind + f"__arrays[{lhs.field.name!r}][{slices}{idx}] = {pr(a.rhs)}"
+        )
+    return lines

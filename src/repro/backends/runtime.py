@@ -1,0 +1,62 @@
+"""Runtime helpers shared by generated NumPy kernels.
+
+Approximate operations emulate the reduced precision of the hardware
+intrinsics (``rsqrt14``, ``__fdividef``) by a float32 round-trip, so their
+numerical effect is observable and testable, while exact operations stay in
+full double precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rng.philox import philox_field
+
+__all__ = ["fast_div", "fast_sqrt", "fast_rsqrt", "rng_uniform", "RUNTIME_NAMESPACE"]
+
+
+def fast_div(a, b):
+    """Approximate division via single precision (CUDA ``__fdividef`` analogue)."""
+    return np.asarray(
+        np.float32(a) / np.float32(b), dtype=np.float64
+    ) if np.isscalar(a) and np.isscalar(b) else np.divide(
+        np.asarray(a, dtype=np.float32), np.asarray(b, dtype=np.float32)
+    ).astype(np.float64)
+
+
+def fast_sqrt(x):
+    """Approximate square root in single precision."""
+    if np.isscalar(x):
+        return float(np.sqrt(np.float32(x)))
+    return np.sqrt(np.asarray(x, dtype=np.float32)).astype(np.float64)
+
+
+def fast_rsqrt(x):
+    """Approximate reciprocal square root (AVX-512 ``rsqrt14`` analogue)."""
+    if np.isscalar(x):
+        return float(np.float32(1.0) / np.sqrt(np.float32(x)))
+    x32 = np.asarray(x, dtype=np.float32)
+    return (np.float32(1.0) / np.sqrt(x32)).astype(np.float64)
+
+
+def rng_uniform(shape, time_step, seed, stream, offset, low, high):
+    """Uniform Philox field for fluctuation terms in generated kernels."""
+    return philox_field(
+        shape,
+        time_step=int(time_step),
+        seed=int(seed),
+        stream=int(stream),
+        offset=tuple(int(o) for o in offset),
+        low=float(low),
+        high=float(high),
+    )
+
+
+#: Namespace injected into every generated NumPy kernel.
+RUNTIME_NAMESPACE = {
+    "np": np,
+    "_fast_div": fast_div,
+    "_fast_sqrt": fast_sqrt,
+    "_fast_rsqrt": fast_rsqrt,
+    "_rng_uniform": rng_uniform,
+}

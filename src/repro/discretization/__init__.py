@@ -1,0 +1,13 @@
+"""Discretization layer: finite differences, staggered fluxes, time stepping."""
+
+from .finite_differences import FiniteDifferenceDiscretization, FluxCollector
+from .staggered import SplitKernels, materialize_fluxes
+from .time_integration import discretize_system
+
+__all__ = [
+    "FiniteDifferenceDiscretization",
+    "FluxCollector",
+    "SplitKernels",
+    "materialize_fluxes",
+    "discretize_system",
+]

@@ -1,0 +1,207 @@
+"""Automatic finite-difference discretization (paper §3.3).
+
+The discretizer eliminates all continuous operators from an expression tree:
+
+* first derivatives of plain field accesses → central differences,
+* ``Diff`` of a *composite* expression (and every :class:`Divergence`
+  component) → the staggered *divergence-of-fluxes* scheme: the inner
+  expression is evaluated at the left/right face positions ``x ± dx/2`` and
+  differenced.  Quantities not naturally available at faces are interpolated
+  (Eq. 11 of the paper),
+* ``Transient`` on a right-hand side → ``(dst − src)/dt`` using the paired
+  destination field (this is why the µ kernel reads both ``φ_src`` and
+  ``φ_dst`` with a D3C19 stencil),
+* coordinate symbols are shifted by ``dx/2`` at staggered positions.
+
+A :class:`FluxCollector` can be attached to record every staggered flux for
+the split-kernel transformation (µ-split / φ-split variants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+import sympy as sp
+
+from ..symbolic.coordinates import CoordinateSymbol, dt as dt_symbol, spacing
+from ..symbolic.field import Field, FieldAccess
+from ..symbolic.operators import Diff, Divergence, Transient
+from ..symbolic.random import RandomValue
+
+__all__ = ["FiniteDifferenceDiscretization", "FluxCollector", "flux_placeholder"]
+
+
+def flux_placeholder(slot: int, axis: int, shifted: bool) -> sp.Symbol:
+    """Placeholder symbol standing for a staggered flux value.
+
+    ``shifted=False`` → flux at the *lower* face of the current cell along
+    ``axis``; ``shifted=True`` → lower face of the ``+axis`` neighbour (i.e.
+    the current cell's upper face).  Resolved to real staggered-field
+    accesses by :func:`repro.discretization.staggered.materialize_fluxes`.
+    """
+    return sp.Symbol(f"__flux_{slot}_{axis}_{int(shifted)}", real=True)
+
+
+@dataclass
+class FluxCollector:
+    """Records staggered flux expressions during discretization."""
+
+    #: slot → (axis, flux expression at the lower face of the current cell)
+    entries: list = dc_field(default_factory=list)
+    _index: dict = dc_field(default_factory=dict)
+
+    def register(self, axis: int, lower_face_expr: sp.Expr) -> int:
+        key = (axis, lower_face_expr)
+        if key in self._index:
+            return self._index[key]
+        slot = len(self.entries)
+        self.entries.append((axis, lower_face_expr))
+        self._index[key] = slot
+        return slot
+
+    def __len__(self):
+        return len(self.entries)
+
+
+class FiniteDifferenceDiscretization:
+    """Transforms expressions with continuous operators into stencil form.
+
+    Parameters
+    ----------
+    dim:
+        Spatial dimensionality of the target kernels.
+    dst_map:
+        Maps source fields to their destination (next time step) fields —
+        needed to resolve ``Transient`` on right-hand sides.
+    order:
+        Finite-difference order for non-staggered first derivatives
+        (2 or 4).  Staggered flux evaluation is always the compact
+        second-order scheme, the established best practice in the
+        application domain (paper §3.3).
+    """
+
+    def __init__(self, dim: int = 3, dst_map: dict[Field, Field] | None = None, order: int = 2):
+        if order not in (2, 4):
+            raise ValueError("only orders 2 and 4 are implemented")
+        self.dim = dim
+        self.dst_map = dict(dst_map or {})
+        self.order = order
+
+    # -- public API ----------------------------------------------------------
+
+    def __call__(self, expr: sp.Expr, flux_collector: FluxCollector | None = None) -> sp.Expr:
+        expr = self._replace_transients(sp.sympify(expr))
+        return self._discretize(expr, flux_collector)
+
+    # -- transient handling --------------------------------------------------
+
+    def _replace_transients(self, expr: sp.Expr) -> sp.Expr:
+        transients = expr.atoms(Transient)
+        if not transients:
+            return expr
+        mapping = {}
+        for tr in transients:
+            src = tr.arg
+            dst_field = self.dst_map.get(src.field)
+            if dst_field is None:
+                raise ValueError(
+                    f"Transient({src}) on a right-hand side requires a "
+                    f"destination field for {src.field.name} in dst_map"
+                )
+            dst = FieldAccess(dst_field, src.offsets, src.index)
+            mapping[tr] = (dst - src) / dt_symbol
+        return expr.xreplace(mapping)
+
+    # -- core recursion --------------------------------------------------------
+
+    def _discretize(self, expr: sp.Expr, fc: FluxCollector | None) -> sp.Expr:
+        if isinstance(expr, Divergence):
+            return sp.Add(
+                *[
+                    self._staggered_difference(f, i, fc)
+                    for i, f in enumerate(expr.flux)
+                ]
+            )
+        if isinstance(expr, Diff):
+            arg, axis = expr.arg, expr.axis
+            if isinstance(arg, FieldAccess):
+                return self._central_difference(arg, axis)
+            if isinstance(arg, CoordinateSymbol):
+                return sp.Integer(1) if arg.axis == axis else sp.S.Zero
+            if not _depends_on_space(arg):
+                return sp.S.Zero
+            return self._staggered_difference(arg, axis, fc)
+        if isinstance(expr, Transient):
+            raise RuntimeError("unresolved Transient — should have been replaced")
+        if not expr.args or isinstance(expr, (FieldAccess, RandomValue)):
+            return expr
+        return expr.func(*[self._discretize(a, fc) for a in expr.args])
+
+    # -- schemes ---------------------------------------------------------------
+
+    def _central_difference(self, access: FieldAccess, axis: int) -> sp.Expr:
+        h = spacing(axis)
+        if self.order == 2:
+            return (access.shifted(axis, 1) - access.shifted(axis, -1)) / (2 * h)
+        return (
+            -access.shifted(axis, 2)
+            + 8 * access.shifted(axis, 1)
+            - 8 * access.shifted(axis, -1)
+            + access.shifted(axis, -2)
+        ) / (12 * h)
+
+    def _staggered_difference(self, flux: sp.Expr, axis: int, fc: FluxCollector | None) -> sp.Expr:
+        """(flux(x + dx/2) − flux(x − dx/2)) / dx with optional flux caching."""
+        h = spacing(axis)
+        if fc is not None:
+            lower = self.staggered_value(flux, axis, -1)
+            slot = fc.register(axis, lower)
+            upper_ph = flux_placeholder(slot, axis, shifted=True)
+            lower_ph = flux_placeholder(slot, axis, shifted=False)
+            return (upper_ph - lower_ph) / h
+        upper = self.staggered_value(flux, axis, +1)
+        lower = self.staggered_value(flux, axis, -1)
+        return (upper - lower) / h
+
+    def staggered_value(self, expr: sp.Expr, axis: int, sign: int) -> sp.Expr:
+        """Evaluate *expr* at the face position ``x + sign*dx_axis/2``.
+
+        Implements the interpolation rules of Eq. 11: plain accesses are
+        averaged onto the face, same-axis first derivatives become compact
+        two-point differences, transverse derivatives are the mean of the two
+        adjacent central differences, coordinates are shifted by half a cell.
+        """
+        assert sign in (+1, -1)
+
+        def rec(e: sp.Expr) -> sp.Expr:
+            if isinstance(e, FieldAccess):
+                return (e + e.shifted(axis, sign)) / 2
+            if isinstance(e, CoordinateSymbol):
+                if e.axis == axis:
+                    return e + sp.Rational(sign, 2) * spacing(axis)
+                return e
+            if isinstance(e, Diff):
+                a = e.arg
+                if isinstance(a, FieldAccess):
+                    if e.axis == axis:
+                        hi = a.shifted(axis, max(sign, 0))
+                        lo = a.shifted(axis, min(sign, 0))
+                        return (hi - lo) / spacing(axis)
+                    here = self._central_difference(a, e.axis)
+                    there = self._central_difference(a.shifted(axis, sign), e.axis)
+                    return (here + there) / 2
+                raise NotImplementedError(
+                    "derivatives deeper than second order are not supported "
+                    f"by the staggered scheme: {e}"
+                )
+            if isinstance(e, Divergence):
+                raise NotImplementedError("nested divergences are not supported")
+            if not e.args or isinstance(e, RandomValue):
+                return e
+            return e.func(*[rec(a) for a in e.args])
+
+        return rec(sp.sympify(expr))
+
+
+def _depends_on_space(expr: sp.Expr) -> bool:
+    return bool(expr.atoms(FieldAccess, CoordinateSymbol))

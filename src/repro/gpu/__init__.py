@@ -1,0 +1,40 @@
+"""GPU-specific transformations and performance model (paper §3.5, §6.2)."""
+
+from .evolutionary import (
+    TransformationSequence,
+    TunedKernel,
+    apply_sequence,
+    evolutionary_tune,
+)
+from .fences import FencePlan, insert_fences
+from .liveness import LivenessResult, analyze_liveness, max_live
+from .model import (
+    GPUKernelModel,
+    GPUSpec,
+    RegisterEstimate,
+    TESLA_P100,
+    estimate_registers,
+)
+from .rematerialize import rematerialize
+from .scheduling import ScheduleResult, dependency_graph, schedule_for_registers
+
+__all__ = [
+    "TransformationSequence",
+    "TunedKernel",
+    "apply_sequence",
+    "evolutionary_tune",
+    "FencePlan",
+    "insert_fences",
+    "LivenessResult",
+    "analyze_liveness",
+    "max_live",
+    "GPUKernelModel",
+    "GPUSpec",
+    "RegisterEstimate",
+    "TESLA_P100",
+    "estimate_registers",
+    "rematerialize",
+    "ScheduleResult",
+    "dependency_graph",
+    "schedule_for_registers",
+]

@@ -1,0 +1,45 @@
+"""Thread-fence insertion (paper §3.5).
+
+nvcc aggressively hoists loads to the beginning of a basic block so they
+overlap with computation — at the price of many long-lived values.  The
+paper found that ``__threadfence()`` statements (like volatile shared
+memory) limit this reordering.  We model a fence as a barrier that splits
+the statement stream into windows: the compiler may only keep loads of the
+*current* window in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..symbolic.assignment import Assignment
+
+__all__ = ["FencePlan", "insert_fences"]
+
+
+@dataclass(frozen=True)
+class FencePlan:
+    """Fence positions splitting an assignment sequence into windows."""
+
+    n_statements: int
+    positions: tuple[int, ...]  # indices *before* which a fence is placed
+
+    @property
+    def windows(self) -> list[tuple[int, int]]:
+        bounds = [0, *self.positions, self.n_statements]
+        return [
+            (a, b) for a, b in zip(bounds, bounds[1:]) if b > a
+        ]
+
+    @property
+    def count(self) -> int:
+        return len(self.positions)
+
+
+def insert_fences(order: list[Assignment], interval: int | None) -> FencePlan:
+    """Place a fence every *interval* statements (None → no fences)."""
+    n = len(order)
+    if not interval or interval >= n:
+        return FencePlan(n, ())
+    positions = tuple(range(interval, n, interval))
+    return FencePlan(n, positions)

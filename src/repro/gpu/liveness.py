@@ -1,0 +1,76 @@
+"""Liveness analysis for GPU register pressure (paper §3.5).
+
+For an ordered SSA assignment list, a temporary is *live* from its
+definition to its last use.  The maximum number of simultaneously live
+values drives the register demand of the CUDA kernel: each double occupies
+two 32-bit registers, and nvcc adds a base overhead (indices, pointers).
+
+The "Registers, analysis" bars of Fig. 2 (right) are exactly this count
+multiplied by two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import sympy as sp
+
+from ..symbolic.assignment import Assignment
+from ..symbolic.field import FieldAccess
+
+__all__ = ["LivenessResult", "analyze_liveness", "max_live"]
+
+
+@dataclass
+class LivenessResult:
+    """Liveness of an ordered assignment sequence."""
+
+    order: list[Assignment]
+    live_at: list[int]            # live temporaries after each statement
+    last_use: dict[sp.Symbol, int]
+
+    @property
+    def max_live(self) -> int:
+        return max(self.live_at, default=0)
+
+    @property
+    def average_live(self) -> float:
+        return sum(self.live_at) / len(self.live_at) if self.live_at else 0.0
+
+    def registers(self, base: int = 24) -> int:
+        """Estimated 32-bit register demand: 2 per live double + overhead."""
+        return base + 2 * self.max_live
+
+
+def _temp_uses(expr: sp.Expr, temps: set[sp.Symbol]) -> set[sp.Symbol]:
+    return {
+        s
+        for s in expr.free_symbols
+        if not isinstance(s, FieldAccess) and s in temps
+    }
+
+
+def analyze_liveness(order: list[Assignment]) -> LivenessResult:
+    """Compute the live-temporary profile of an ordered assignment list."""
+    temps = {a.lhs for a in order if not a.is_field_store}
+    last_use: dict[sp.Symbol, int] = {}
+    for i, a in enumerate(order):
+        for s in _temp_uses(a.rhs, temps):
+            last_use[s] = i
+    # values never used stay live to the end conservatively? no: dead at def
+    live: set[sp.Symbol] = set()
+    live_at: list[int] = []
+    for i, a in enumerate(order):
+        # uses whose last occurrence is here die after this statement
+        for s in _temp_uses(a.rhs, temps):
+            if last_use.get(s) == i:
+                live.discard(s)
+        if not a.is_field_store and last_use.get(a.lhs, -1) > i:
+            live.add(a.lhs)
+        live_at.append(len(live))
+    return LivenessResult(order=list(order), live_at=live_at, last_use=last_use)
+
+
+def max_live(order: list[Assignment]) -> int:
+    """Shortcut for ``analyze_liveness(order).max_live``."""
+    return analyze_liveness(order).max_live

@@ -1,0 +1,73 @@
+"""Rematerialization of cheap CSE temporaries (paper §3.5).
+
+CSE finds "many small common expressions, reused in multiple assignments,
+which creates many intermediates that are alive for a long time".  This
+transformation *takes back* some CSE: temporaries that are cheap to compute
+and whose operands sit at the top of the dependency graph (constants, field
+accesses, parameters) are inlined at every use, trading duplicate arithmetic
+for shorter live ranges and lower register pressure.
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from ..perfmodel.flops import count_operations
+from ..symbolic.assignment import Assignment, AssignmentCollection
+from ..symbolic.field import FieldAccess
+
+__all__ = ["rematerialize"]
+
+
+def _op_cost(expr: sp.Expr) -> float:
+    tmp = AssignmentCollection(
+        [], [Assignment(sp.Symbol("__cost_probe"), expr)]
+    )
+    return count_operations(tmp).total_flops
+
+
+def rematerialize(
+    assignments: list[Assignment],
+    max_cost: float = 2.0,
+    max_uses: int = 4,
+    leaf_operands_only: bool = True,
+) -> list[Assignment]:
+    """Inline cheap temporaries back into their uses.
+
+    Parameters
+    ----------
+    max_cost:
+        Maximum operation count of a temporary eligible for duplication.
+    max_uses:
+        Do not duplicate values used more often than this (the total extra
+        arithmetic is ``cost × uses``).
+    leaf_operands_only:
+        Restrict to temporaries whose operands are leaves of the dependency
+        graph (field accesses, parameters, numbers) — these never extend
+        other live ranges when duplicated.
+    """
+    temps = {a.lhs for a in assignments if not a.is_field_store}
+    use_count: dict[sp.Symbol, int] = {}
+    for a in assignments:
+        for s in a.rhs.free_symbols:
+            if s in temps:
+                use_count[s] = use_count.get(s, 0) + 1
+
+    replacements: dict[sp.Symbol, sp.Expr] = {}
+    kept: list[Assignment] = []
+    for a in assignments:
+        rhs = a.rhs.xreplace(replacements) if replacements else a.rhs
+        if a.is_field_store:
+            kept.append(Assignment(a.lhs, rhs))
+            continue
+        uses = use_count.get(a.lhs, 0)
+        cheap = _op_cost(rhs) <= max_cost
+        leafy = (not leaf_operands_only) or all(
+            isinstance(s, FieldAccess) or s not in temps
+            for s in rhs.free_symbols
+        )
+        if uses and uses <= max_uses and cheap and leafy:
+            replacements[a.lhs] = rhs
+        else:
+            kept.append(Assignment(a.lhs, rhs))
+    return kept

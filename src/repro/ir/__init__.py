@@ -1,0 +1,33 @@
+"""Intermediate representation: typing, loops, hoisting, kernel objects."""
+
+from .approximations import (
+    APPROXIMABLE,
+    fast_division,
+    fast_rsqrt,
+    fast_sqrt,
+    insert_approximations,
+)
+from .kernel import Kernel, KernelConfig, create_kernel
+from .loops import analytic_axes, choose_loop_order, classify_hoist_levels, hoisted_symbols
+from .types import DOUBLE, FLOAT, INT64, BasicType, infer_types, kernel_parameters
+
+__all__ = [
+    "APPROXIMABLE",
+    "fast_division",
+    "fast_rsqrt",
+    "fast_sqrt",
+    "insert_approximations",
+    "Kernel",
+    "KernelConfig",
+    "create_kernel",
+    "analytic_axes",
+    "choose_loop_order",
+    "classify_hoist_levels",
+    "hoisted_symbols",
+    "BasicType",
+    "DOUBLE",
+    "FLOAT",
+    "INT64",
+    "infer_types",
+    "kernel_parameters",
+]

@@ -1,0 +1,112 @@
+"""Approximate math operations (paper §3.5).
+
+The user can mark divisions and (inverse) square roots for approximate
+evaluation.  Backends then emit faster, lower-precision instructions
+(``_mm512_rsqrt14_pd`` on AVX-512, ``__fdividef`` / ``__frsqrt_rn`` on CUDA);
+the NumPy backend emulates the reduced precision by a float32 round-trip so
+that numerical effects are observable in tests.
+
+The nodes are opaque :class:`sympy.Function` subclasses, inserted *after*
+algebraic simplification by :func:`insert_approximations`.
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from ..symbolic.assignment import AssignmentCollection
+
+__all__ = [
+    "fast_division",
+    "fast_sqrt",
+    "fast_rsqrt",
+    "insert_approximations",
+    "APPROXIMABLE",
+]
+
+
+class fast_division(sp.Function):
+    """Approximate ``a / b`` (single-precision reciprocal path)."""
+
+    nargs = (2,)
+
+    def _eval_evalf(self, prec):
+        a, b = self.args
+        return (a / b)._eval_evalf(prec)
+
+
+class fast_sqrt(sp.Function):
+    """Approximate ``sqrt(x)``."""
+
+    nargs = (1,)
+
+    def _eval_evalf(self, prec):
+        return sp.sqrt(self.args[0])._eval_evalf(prec)
+
+
+class fast_rsqrt(sp.Function):
+    """Approximate ``1/sqrt(x)`` (maps to rsqrt14 / frsqrt intrinsics)."""
+
+    nargs = (1,)
+
+    def _eval_evalf(self, prec):
+        return (1 / sp.sqrt(self.args[0]))._eval_evalf(prec)
+
+
+APPROXIMABLE = ("division", "sqrt", "rsqrt")
+
+
+def _rewrite(expr: sp.Expr, which: frozenset[str]) -> sp.Expr:
+    def rec(e: sp.Expr) -> sp.Expr:
+        if not e.args:
+            return e
+        if isinstance(e, sp.Pow):
+            base, expo = rec(e.args[0]), e.args[1]
+            if expo == sp.Rational(1, 2) and "sqrt" in which:
+                return fast_sqrt(base)
+            if expo == sp.Rational(-1, 2) and "rsqrt" in which:
+                return fast_rsqrt(base)
+            if expo == -1 and "division" in which:
+                return fast_division(sp.Integer(1), base)
+            if expo.is_Rational and expo.q == 2 and "sqrt" in which:
+                # x**(p/2) -> sqrt(x)**p handled by integer-pow path
+                return rec(fast_sqrt(base) ** sp.Integer(expo.p))
+            return sp.Pow(base, rec(expo), evaluate=False)
+        if isinstance(e, sp.Mul) and "division" in which:
+            num, den = [], []
+            for f in e.args:
+                if (
+                    isinstance(f, sp.Pow)
+                    and f.args[1].is_number
+                    and f.args[1].is_negative
+                ):
+                    den.append(rec(sp.Pow(f.args[0], -f.args[1])))
+                elif f.is_Rational and not f.is_Integer:
+                    num.append(sp.Integer(f.p))
+                    if f.q != 1:
+                        den.append(sp.Integer(f.q))
+                else:
+                    num.append(rec(f))
+            if den:
+                numerator = sp.Mul(*num) if num else sp.Integer(1)
+                return fast_division(numerator, sp.Mul(*den))
+            return e.func(*[rec(a) for a in e.args])
+        return e.func(*[rec(a) for a in e.args])
+
+    return rec(expr)
+
+
+def insert_approximations(
+    ac: AssignmentCollection, which=APPROXIMABLE
+) -> AssignmentCollection:
+    """Rewrite exact div/sqrt/rsqrt operations into their fast variants.
+
+    ``which`` selects any subset of :data:`APPROXIMABLE`.  The rewrite is a
+    pure relabeling — the expression value is unchanged symbolically; only
+    backends interpret the nodes with reduced precision.
+    """
+    which_set = frozenset(which)
+    unknown = which_set - frozenset(APPROXIMABLE)
+    if unknown:
+        raise ValueError(f"unknown approximation kinds: {sorted(unknown)}")
+    return ac.transform_rhs(lambda e: _rewrite(e, which_set))

@@ -1,0 +1,134 @@
+"""Kernel objects — the bridge between SSA stencils and the backends.
+
+A :class:`Kernel` bundles the optimized assignment collection with the
+structural decisions of the IR layer: loop order, hoist levels, ghost-layer
+width, typing and the target architecture.  :func:`create_kernel` is the
+single entry point used by applications (paper Fig. 1, "intermediate
+representation layer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Mapping
+
+import sympy as sp
+
+from ..simplification.passes import optimize
+from ..symbolic.assignment import AssignmentCollection
+from ..symbolic.field import Field
+from .approximations import insert_approximations
+from .loops import choose_loop_order, classify_hoist_levels, extract_invariant_subexpressions
+from .types import BasicType, infer_types, kernel_parameters
+
+__all__ = ["Kernel", "create_kernel", "KernelConfig"]
+
+
+@dataclass
+class KernelConfig:
+    """Code-generation options (the per-model, per-machine tuning knobs)."""
+
+    target: str = "cpu"                      # "cpu" | "gpu"
+    approximations: tuple = ()               # subset of ("division","sqrt","rsqrt")
+    cse: bool = True
+    parameter_values: Mapping | None = None  # compile-time constants
+    loop_order: tuple | None = None          # override automatic choice
+    vector_width: int = 8                    # doubles per SIMD register (AVX-512)
+
+
+@dataclass
+class Kernel:
+    """A fully lowered compute kernel ready for backend code generation."""
+
+    name: str
+    ac: AssignmentCollection
+    dim: int
+    ghost_layers: int
+    loop_order: tuple[int, ...]
+    hoist_levels: dict[sp.Symbol, int]
+    types: dict[sp.Symbol, BasicType]
+    config: KernelConfig = dc_field(default_factory=KernelConfig)
+
+    @property
+    def parameters(self) -> list[sp.Symbol]:
+        return kernel_parameters(self.ac)
+
+    @property
+    def coordinate_axes(self) -> set[int]:
+        """Spatial axes whose coordinate symbol occurs in the kernel body."""
+        from ..symbolic.coordinates import CoordinateSymbol
+
+        axes: set[int] = set()
+        for a in self.ac.all_assignments:
+            axes |= {s.axis for s in a.rhs.atoms(CoordinateSymbol)}
+        return axes
+
+    def folded_value(self, name: str):
+        """Compile-time constant for *name*, or None if it stayed symbolic."""
+        values = self.config.parameter_values or {}
+        for k, v in values.items():
+            key = k.name if isinstance(k, sp.Symbol) else str(k)
+            if key == name:
+                return v
+        return None
+
+    @property
+    def fields(self) -> list[Field]:
+        return sorted(self.ac.fields, key=lambda f: f.name)
+
+    @property
+    def hoisted(self) -> set[sp.Symbol]:
+        return {s for s, lvl in self.hoist_levels.items() if lvl < self.dim}
+
+    def operation_count(self, include_hoisted: bool = False):
+        """Per-cell operation count (hoisted assignments amortized away)."""
+        from ..perfmodel.flops import count_operations
+
+        skip = () if include_hoisted else self.hoisted
+        return count_operations(self.ac, skip_symbols=skip)
+
+    def __repr__(self):
+        return (
+            f"Kernel({self.name!r}, {self.dim}D, gl={self.ghost_layers}, "
+            f"{len(self.ac)} assignments, target={self.config.target})"
+        )
+
+
+def create_kernel(
+    ac: AssignmentCollection,
+    config: KernelConfig | None = None,
+    name: str | None = None,
+) -> Kernel:
+    """Lower an assignment collection into a :class:`Kernel`.
+
+    Runs the standard optimization pipeline (constant folding of
+    ``config.parameter_values``, per-term simplification, global CSE),
+    optionally inserts approximate operations, chooses the loop order and
+    classifies hoistable subexpressions.
+    """
+    config = config or KernelConfig()
+    dims = {f.spatial_dimensions for f in ac.fields}
+    if len(dims) != 1:
+        raise ValueError(f"kernel mixes fields of different dimensionality: {dims}")
+    (dim,) = dims
+
+    ac = optimize(ac, parameter_values=config.parameter_values, cse=config.cse)
+    ac = extract_invariant_subexpressions(ac)
+    if config.approximations:
+        ac = insert_approximations(ac, config.approximations)
+    ac.validate()
+
+    loop_order = config.loop_order or choose_loop_order(ac, dim)
+    if sorted(loop_order) != list(range(dim)):
+        raise ValueError(f"loop_order {loop_order} is not a permutation of axes")
+
+    return Kernel(
+        name=name or ac.name,
+        ac=ac,
+        dim=dim,
+        ghost_layers=ac.ghost_layers_required(),
+        loop_order=tuple(loop_order),
+        hoist_levels=classify_hoist_levels(ac, tuple(loop_order)),
+        types=infer_types(ac),
+        config=config,
+    )

@@ -1,0 +1,147 @@
+"""Loop construction: ordering and loop-invariant code motion (paper §3.4).
+
+Arrays are stored C-contiguously with the *last* spatial axis fastest, so
+the innermost loop should iterate that axis for spatial locality.  Analytic
+dependencies (e.g. a temperature ``T(x_0, t)`` that varies along a single
+coordinate) are exploited by making their axes the *outermost* loops and
+hoisting every subexpression that only depends on outer-loop state out of
+the inner loops — "all temperature-dependent subexpressions are pulled out
+of the inner loops".
+"""
+
+from __future__ import annotations
+
+import sympy as sp
+
+from ..symbolic.assignment import Assignment, AssignmentCollection
+from ..symbolic.coordinates import CoordinateSymbol
+from ..symbolic.field import FieldAccess
+from ..symbolic.random import RandomValue
+
+__all__ = [
+    "choose_loop_order",
+    "classify_hoist_levels",
+    "extract_invariant_subexpressions",
+    "hoisted_symbols",
+    "analytic_axes",
+]
+
+
+def analytic_axes(ac: AssignmentCollection) -> set[int]:
+    """Spatial axes on which analytic (coordinate) expressions depend."""
+    axes: set[int] = set()
+    for a in ac.all_assignments:
+        axes |= {s.axis for s in a.rhs.atoms(CoordinateSymbol)}
+    return axes
+
+
+def choose_loop_order(ac: AssignmentCollection, dim: int) -> tuple[int, ...]:
+    """Loop order (outermost → innermost) for a kernel.
+
+    The fastest-varying axis (``dim-1``, contiguous in memory) is placed
+    innermost whenever possible; axes carrying analytic coordinate
+    dependencies are pushed outward so their subexpressions can be hoisted.
+    """
+    analytic = analytic_axes(ac)
+    inner_candidates = [a for a in range(dim) if a not in analytic]
+    if inner_candidates:
+        # last (contiguous) non-analytic axis goes innermost
+        rest = sorted(analytic) + [a for a in inner_candidates[:-1]]
+        return tuple(rest + [inner_candidates[-1]])
+    # every axis is analytic: keep natural order, contiguous axis innermost
+    return tuple(range(dim))
+
+
+def classify_hoist_levels(
+    ac: AssignmentCollection, loop_order: tuple[int, ...]
+) -> dict[sp.Symbol, int]:
+    """Compute, for every temporary, the loop depth at which it can live.
+
+    Returns a map ``symbol → level`` where level ``0`` means the assignment
+    is computable before all loops, level ``k`` inside the loop over
+    ``loop_order[k-1]``, and level ``len(loop_order)`` (the full depth) means
+    it must stay in the loop body.  An assignment's level is the maximum
+    over the levels demanded by its atoms:
+
+    * a field access or RNG call demands full depth,
+    * a coordinate symbol of axis ``a`` demands ``position(a) + 1``,
+    * a temporary demands its own level,
+    * plain parameters and numbers demand 0.
+    """
+    depth = len(loop_order)
+    pos = {axis: i for i, axis in enumerate(loop_order)}
+    levels: dict[sp.Symbol, int] = {}
+
+    def expr_level(expr: sp.Expr) -> int:
+        lvl = 0
+        for atom in sp.preorder_traversal(expr):
+            if isinstance(atom, (FieldAccess, RandomValue)):
+                return depth
+            if isinstance(atom, CoordinateSymbol):
+                lvl = max(lvl, pos.get(atom.axis, depth - 1) + 1)
+            elif isinstance(atom, sp.Symbol) and atom in levels:
+                lvl = max(lvl, levels[atom])
+        return lvl
+
+    for a in ac.subexpressions:
+        levels[a.lhs] = expr_level(a.rhs)
+    return levels
+
+
+def extract_invariant_subexpressions(ac: AssignmentCollection) -> AssignmentCollection:
+    """Pull maximal loop-invariant subtrees into their own temporaries.
+
+    Global CSE only extracts *repeated* subexpressions; a temperature factor
+    used once would stay inline and could not be hoisted.  This pass finds
+    maximal subtrees that contain coordinate symbols but no field accesses or
+    RNG calls and binds them to fresh temporaries so that
+    :func:`classify_hoist_levels` can move them out of the inner loops.
+    """
+    gen = ac.fresh_symbol_generator("inv")
+    new_subs: list = []
+    cache: dict[sp.Expr, sp.Symbol] = {}
+
+    bound = ac.defined_temporaries
+
+    def is_invariant(e: sp.Expr) -> bool:
+        # conservative: referencing an existing temporary disqualifies the
+        # subtree (the temporary may hide field accesses)
+        return (
+            not e.atoms(FieldAccess, RandomValue)
+            and bool(e.atoms(CoordinateSymbol))
+            and not (e.free_symbols & bound)
+        )
+
+    def rec(e: sp.Expr) -> sp.Expr:
+        if not e.args or isinstance(e, (FieldAccess, CoordinateSymbol)):
+            return e
+        if is_invariant(e):
+            if e in cache:
+                return cache[e]
+            sym = next(gen)
+            cache[e] = sym
+            new_subs.append(Assignment(sym, e))
+            return sym
+        return e.func(*[rec(a) for a in e.args])
+
+    subexpressions = [Assignment(a.lhs, rec(a.rhs)) for a in ac.subexpressions]
+    mains = [Assignment(a.lhs, rec(a.rhs)) for a in ac.main_assignments]
+    if not new_subs:
+        return ac
+    # invariant temporaries come first: they depend on nothing bound later
+    return ac.copy(mains, new_subs + subexpressions)
+
+
+def hoisted_symbols(
+    ac: AssignmentCollection, loop_order: tuple[int, ...] | None = None, dim: int | None = None
+) -> set[sp.Symbol]:
+    """Temporaries that move out of the innermost loop (amortized per line)."""
+    if loop_order is None:
+        if dim is None:
+            dim = max(
+                (acc.field.spatial_dimensions for acc in ac.field_writes), default=3
+            )
+        loop_order = choose_loop_order(ac, dim)
+    depth = len(loop_order)
+    levels = classify_hoist_levels(ac, loop_order)
+    return {s for s, lvl in levels.items() if lvl < depth}

@@ -1,0 +1,77 @@
+"""Minimal type system for kernel parameters and temporaries (paper §3.4).
+
+The symbolic layers are untyped (sympy symbols carry no type); the first IR
+transformation assigns a type to every symbol.  Doubles dominate; loop
+counters, the time step and the RNG seed are integers.  Backends insert
+casts where an integer feeds a floating point expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import sympy as sp
+
+from ..symbolic.assignment import AssignmentCollection
+from ..symbolic.field import FieldAccess
+from ..symbolic.random import SEED, TIME_STEP
+
+__all__ = ["BasicType", "DOUBLE", "FLOAT", "INT64", "infer_types", "kernel_parameters"]
+
+
+@dataclass(frozen=True)
+class BasicType:
+    """A scalar machine type."""
+
+    name: str          # python-facing name
+    c_name: str        # spelling in generated C/CUDA
+    numpy_name: str
+    size: int          # bytes
+    is_int: bool = False
+
+    def __str__(self):
+        return self.name
+
+
+DOUBLE = BasicType("double", "double", "float64", 8)
+FLOAT = BasicType("float", "float", "float32", 4)
+INT64 = BasicType("int64", "int64_t", "int64", 8, is_int=True)
+
+_BY_NAME = {t.name: t for t in (DOUBLE, FLOAT, INT64)}
+
+
+def type_by_name(name: str) -> BasicType:
+    return _BY_NAME[name]
+
+
+def infer_types(ac: AssignmentCollection, default: BasicType = DOUBLE) -> dict[sp.Symbol, BasicType]:
+    """Assign a type to every free and bound symbol of a kernel.
+
+    Field accesses take their field's dtype; explicitly integer sympy symbols
+    (``time_step``, ``seed``, user-declared integer parameters) become
+    int64; everything else defaults to the kernel's floating point type.
+    """
+    table: dict[sp.Symbol, BasicType] = {}
+    for sym in ac.free_symbols | ac.bound_symbols:
+        if isinstance(sym, FieldAccess):
+            table[sym] = type_by_name(sym.field.dtype)
+        elif sym in (TIME_STEP, SEED) or sym.is_integer:
+            table[sym] = INT64
+        else:
+            table[sym] = default
+    return table
+
+
+def kernel_parameters(ac: AssignmentCollection) -> list[sp.Symbol]:
+    """Deterministically ordered non-field kernel arguments.
+
+    Any symbol not defined before its use becomes an argument of the
+    generated kernel function (paper §3.4).  Coordinate symbols are *not*
+    parameters — backends materialize them from the iteration indices.
+    """
+    from ..symbolic.coordinates import CoordinateSymbol
+
+    return sorted(
+        (s for s in ac.parameters if not isinstance(s, CoordinateSymbol)),
+        key=lambda s: s.name,
+    )

@@ -1,0 +1,16 @@
+"""Lattice Boltzmann through the same pipeline (paper §8 future work)."""
+
+from .lattice import D2Q9, D3Q19, Lattice
+from .method import LBMethod, create_lbm_update, equilibrium_pdfs
+from .simulation import LBMSimulation, apply_bounce_back
+
+__all__ = [
+    "D2Q9",
+    "D3Q19",
+    "Lattice",
+    "LBMethod",
+    "create_lbm_update",
+    "equilibrium_pdfs",
+    "LBMSimulation",
+    "apply_bounce_back",
+]

@@ -1,0 +1,85 @@
+"""Lattice models for the LBM extension (paper §8 future work).
+
+"We are going to apply and generalize our code generation pipeline to
+include also other stencil-based methods, e.g. lattice Boltzmann schemes"
+— this subpackage does exactly that: LBM kernels are built from the same
+:class:`Field`/:class:`AssignmentCollection` machinery, optimized by the
+same passes and executed by the same backends as the phase-field kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import sympy as sp
+
+__all__ = ["Lattice", "D2Q9", "D3Q19"]
+
+
+@dataclass(frozen=True)
+class Lattice:
+    """A DdQq velocity set with weights (cs² = 1/3 lattice units)."""
+
+    name: str
+    dim: int
+    velocities: tuple[tuple[int, ...], ...]
+    weights: tuple[sp.Rational, ...]
+
+    @property
+    def q(self) -> int:
+        return len(self.velocities)
+
+    def opposite(self, i: int) -> int:
+        """Index of the velocity −c_i (for bounce-back walls)."""
+        target = tuple(-c for c in self.velocities[i])
+        return self.velocities.index(target)
+
+    def validate(self) -> None:
+        w_sum = sum(self.weights)
+        if w_sum != 1:
+            raise ValueError(f"weights of {self.name} sum to {w_sum}, not 1")
+        for d in range(self.dim):
+            first = sum(w * c[d] for w, c in zip(self.weights, self.velocities))
+            if first != 0:
+                raise ValueError(f"first moment of {self.name} not zero")
+        # second moment must equal cs² δ_ab = 1/3 δ_ab
+        for a in range(self.dim):
+            for b in range(self.dim):
+                m2 = sum(
+                    w * c[a] * c[b] for w, c in zip(self.weights, self.velocities)
+                )
+                expected = sp.Rational(1, 3) if a == b else 0
+                if m2 != expected:
+                    raise ValueError(f"second moment of {self.name} wrong: {m2}")
+
+
+_w0, _ws, _wd = sp.Rational(4, 9), sp.Rational(1, 9), sp.Rational(1, 36)
+
+D2Q9 = Lattice(
+    name="D2Q9",
+    dim=2,
+    velocities=(
+        (0, 0),
+        (1, 0), (-1, 0), (0, 1), (0, -1),
+        (1, 1), (-1, -1), (1, -1), (-1, 1),
+    ),
+    weights=(_w0, _ws, _ws, _ws, _ws, _wd, _wd, _wd, _wd),
+)
+
+_v0, _vs, _vd = sp.Rational(1, 3), sp.Rational(1, 18), sp.Rational(1, 36)
+
+D3Q19 = Lattice(
+    name="D3Q19",
+    dim=3,
+    velocities=(
+        (0, 0, 0),
+        (1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1),
+        (1, 1, 0), (-1, -1, 0), (1, -1, 0), (-1, 1, 0),
+        (1, 0, 1), (-1, 0, -1), (1, 0, -1), (-1, 0, 1),
+        (0, 1, 1), (0, -1, -1), (0, 1, -1), (0, -1, 1),
+    ),
+    weights=(_v0,) + (_vs,) * 6 + (_vd,) * 12,
+)
+
+for _lat in (D2Q9, D3Q19):
+    _lat.validate()

@@ -1,0 +1,45 @@
+"""Distributed-memory substrate: block forest, ghost exchange, scaling models."""
+
+from .blockforest import Block, BlockForest, morton_key
+from .boundary import DIRICHLET, NEUMANN, PERIODIC, DirichletValue, fill_ghosts
+from .cluster import ClusterModel, StrongScalingPoint, WeakScalingPoint
+from .comm_model import (
+    ARIES_DRAGONFLY,
+    OMNIPATH_FAT_TREE,
+    CommOptions,
+    NetworkModel,
+    StepTimeModel,
+)
+from .ghostlayer import communication_volume_bytes, exchange_field
+from .mpi_adapter import MPI4PyComm, fold_tag, mpi4py_available
+from .mpi_sim import RankError, Request, SimComm, run_ranks
+from .timeloop import DistributedSolver
+
+__all__ = [
+    "Block",
+    "BlockForest",
+    "morton_key",
+    "DIRICHLET",
+    "DirichletValue",
+    "NEUMANN",
+    "PERIODIC",
+    "fill_ghosts",
+    "ClusterModel",
+    "StrongScalingPoint",
+    "WeakScalingPoint",
+    "ARIES_DRAGONFLY",
+    "OMNIPATH_FAT_TREE",
+    "CommOptions",
+    "NetworkModel",
+    "StepTimeModel",
+    "communication_volume_bytes",
+    "exchange_field",
+    "MPI4PyComm",
+    "fold_tag",
+    "mpi4py_available",
+    "RankError",
+    "Request",
+    "SimComm",
+    "run_ranks",
+    "DistributedSolver",
+]

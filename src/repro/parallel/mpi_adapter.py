@@ -1,0 +1,133 @@
+"""Adapter to run the distributed time loop on *real* MPI (mpi4py).
+
+The whole :mod:`repro.parallel` stack is written against the small
+communicator interface of :class:`~repro.parallel.mpi_sim.SimComm`.  This
+module provides the same interface on top of an ``mpi4py`` communicator, so
+that ``mpirun -n 8 python my_run.py`` executes the identical ghost-layer
+protocol on real hardware.  mpi4py is optional; importing this module
+without it only fails when an adapter is actually constructed.
+
+The simulated communicator uses rich (tuple) tags for its per-channel
+queues; MPI tags are bounded integers, so tags are folded deterministically
+with CRC-32 (``hash()`` is salted per process and therefore unusable across
+ranks).
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from typing import Any
+
+__all__ = ["fold_tag", "MPI4PyComm", "mpi4py_available"]
+
+#: Conservative bound below every implementation's MPI_TAG_UB.
+_TAG_MODULUS = 32749  # largest prime below 32768
+
+
+def fold_tag(tag: Any) -> int:
+    """Deterministically fold an arbitrary (picklable) tag to a valid MPI tag.
+
+    Identical on every rank and across processes (unlike ``hash``).
+    Collisions are possible but only matter for *concurrent* messages on the
+    same (src, dst) pair; the ghost-layer protocol posts matching sends and
+    receives in a deterministic per-axis order, so a collision at worst
+    pairs messages of the same exchange — which carry distinct (axis, side,
+    block) tags precisely to disambiguate, hence the wide modulus.
+    """
+    if isinstance(tag, int) and 0 <= tag < _TAG_MODULUS:
+        return tag
+    payload = pickle.dumps(tag, protocol=2)
+    return zlib.crc32(payload) % _TAG_MODULUS
+
+
+def mpi4py_available() -> bool:
+    try:
+        import mpi4py  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+class MPI4PyComm:
+    """``SimComm``-compatible facade over an ``mpi4py.MPI.Comm``."""
+
+    def __init__(self, comm=None):
+        from mpi4py import MPI  # deferred: mpi4py is optional
+
+        self._mpi = MPI
+        self._comm = comm if comm is not None else MPI.COMM_WORLD
+        self.rank = self._comm.Get_rank()
+
+    @property
+    def size(self) -> int:
+        return self._comm.Get_size()
+
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    # -- point to point (pickle-based, mpi4py lower-case API) -----------------
+
+    def send(self, obj, dest: int, tag=0) -> None:
+        self._comm.send(obj, dest=dest, tag=fold_tag(tag))
+
+    def recv(self, source: int, tag=0):
+        return self._comm.recv(source=source, tag=fold_tag(tag))
+
+    def isend(self, obj, dest: int, tag=0):
+        req = self._comm.isend(obj, dest=dest, tag=fold_tag(tag))
+
+        class _Req:
+            def wait(self_inner):
+                return req.wait()
+
+            def test(self_inner):
+                return req.test()
+
+        return _Req()
+
+    def irecv(self, source: int, tag=0):
+        req = self._comm.irecv(source=source, tag=fold_tag(tag))
+
+        class _Req:
+            def wait(self_inner):
+                return req.wait()
+
+            def test(self_inner):
+                return req.test()
+
+        return _Req()
+
+    def sendrecv(self, obj, dest: int, source: int, sendtag=0, recvtag=0):
+        return self._comm.sendrecv(
+            obj, dest=dest, sendtag=fold_tag(sendtag),
+            source=source, recvtag=fold_tag(recvtag),
+        )
+
+    # -- collectives -------------------------------------------------------------
+
+    def barrier(self) -> None:
+        self._comm.Barrier()
+
+    def bcast(self, obj, root: int = 0):
+        return self._comm.bcast(obj, root=root)
+
+    def gather(self, obj, root: int = 0):
+        return self._comm.gather(obj, root=root)
+
+    def allgather(self, obj):
+        return self._comm.allgather(obj)
+
+    def allreduce(self, value, op: str = "sum"):
+        ops = {
+            "sum": self._mpi.SUM,
+            "max": self._mpi.MAX,
+            "min": self._mpi.MIN,
+        }
+        if op not in ops:
+            raise ValueError(f"unknown reduction op {op!r}")
+        return self._comm.allreduce(value, op=ops[op])

@@ -1,0 +1,191 @@
+"""Simulated MPI: a thread-based, mpi4py-style communicator.
+
+The distributed-memory algorithms of :mod:`repro.parallel` are written
+against this small MPI interface (blocking/non-blocking point-to-point and
+the collectives the time loop needs).  :func:`run_ranks` executes an SPMD
+function on N in-process ranks backed by per-channel FIFO queues — the
+protocol (ghost exchange, reductions) runs *exactly* as it would under real
+MPI, just inside one process, which keeps the paper's communication scheme
+fully testable on a laptop.
+
+The API follows the mpi4py tutorial conventions (lower-case = pickled
+objects; NumPy arrays pass by reference since ranks share an address space,
+so receivers copy).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["SimComm", "Request", "run_ranks", "RankError"]
+
+_RECV_TIMEOUT = 60.0
+
+
+class RankError(RuntimeError):
+    """An exception raised inside one of the simulated ranks."""
+
+
+class _Router:
+    """Per-(src, dst, tag) FIFO channels shared by all ranks."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self._channels: dict[tuple, queue.Queue] = {}
+        self._lock = threading.Lock()
+        self.barrier = threading.Barrier(size)
+        self.failed = threading.Event()
+
+    def channel(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self._lock:
+            ch = self._channels.get(key)
+            if ch is None:
+                ch = self._channels[key] = queue.Queue()
+            return ch
+
+
+@dataclass
+class Request:
+    """Handle for a non-blocking operation (mpi4py's ``isend``/``irecv``)."""
+
+    _result: Callable[[], Any]
+    _done: bool = False
+    _value: Any = None
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._value = self._result()
+            self._done = True
+        return self._value
+
+    def test(self) -> tuple[bool, Any]:
+        # queue-backed sends complete immediately; receives poll
+        try:
+            value = self.wait()
+            return True, value
+        except queue.Empty:
+            return False, None
+
+
+class SimComm:
+    """Communicator handed to every rank function."""
+
+    def __init__(self, rank: int, router: _Router):
+        self.rank = rank
+        self._router = router
+
+    @property
+    def size(self) -> int:
+        return self._router.size
+
+    # mpi4py-style accessors
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    # -- point to point --------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"invalid destination rank {dest}")
+        if isinstance(obj, np.ndarray):
+            obj = obj.copy()  # value semantics as with real MPI
+        self._router.channel(self.rank, dest, tag).put(obj)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        if not 0 <= source < self.size:
+            raise ValueError(f"invalid source rank {source}")
+        ch = self._router.channel(source, self.rank, tag)
+        while True:
+            try:
+                return ch.get(timeout=0.2)
+            except queue.Empty:
+                if self._router.failed.is_set():
+                    raise RankError("another rank failed during recv")
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        self.send(obj, dest, tag)  # buffered: completes immediately
+        return Request(lambda: None, _done=True)
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        return Request(lambda: self.recv(source, tag))
+
+    def sendrecv(self, obj: Any, dest: int, source: int, sendtag: int = 0, recvtag: int = 0) -> Any:
+        self.send(obj, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    # -- collectives -------------------------------------------------------------
+
+    def barrier(self) -> None:
+        self._router.barrier.wait()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        if self.rank == root:
+            for r in range(self.size):
+                if r != root:
+                    self.send(obj, r, tag=-1)
+            return obj
+        return self.recv(root, tag=-1)
+
+    def gather(self, obj: Any, root: int = 0) -> list | None:
+        self.send(obj, root, tag=-2)
+        if self.rank != root:
+            return None
+        return [self.recv(r, tag=-2) for r in range(self.size)]
+
+    def allgather(self, obj: Any) -> list:
+        data = self.gather(obj, root=0)
+        return self.bcast(data, root=0)
+
+    def allreduce(self, value, op: str = "sum"):
+        data = self.allgather(value)
+        if op == "sum":
+            total = data[0]
+            for v in data[1:]:
+                total = total + v
+            return total
+        if op == "max":
+            return max(data)
+        if op == "min":
+            return min(data)
+        raise ValueError(f"unknown reduction op {op!r}")
+
+
+def run_ranks(size: int, func: Callable[..., Any], *args, **kwargs) -> list:
+    """Run ``func(comm, *args, **kwargs)`` on *size* simulated ranks.
+
+    Returns the per-rank return values; re-raises the first rank failure.
+    """
+    router = _Router(size)
+    results: list = [None] * size
+    errors: list = []
+
+    def worker(rank: int):
+        comm = SimComm(rank, router)
+        try:
+            results[rank] = func(comm, *args, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - propagate to caller
+            router.failed.set()
+            router.barrier.abort()
+            errors.append((rank, exc))
+
+    threads = [
+        threading.Thread(target=worker, args=(r,), name=f"simrank-{r}")
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=300)
+    if errors:
+        rank, exc = errors[0]
+        raise RankError(f"rank {rank} failed: {exc!r}") from exc
+    return results

@@ -1,0 +1,41 @@
+"""Automatic performance modeling: op counts, layer conditions, ECM, roofline."""
+
+from .ecm import ECMModel, ECMPrediction, combine_kernels_mlups
+from .flops import SKYLAKE_WEIGHTS, OperationCount, count_operations
+from .instruction_tables import HASWELL_TABLE, SKYLAKE_TABLE, InstructionTable, weights_for
+from .layer_condition import TrafficAnalysis, analyze_traffic, blocking_factor
+from .machine import HASWELL_2690V3, MACHINES, SKYLAKE_8174, CacheLevel, MachineModel
+from .benchmark_mode import MeasuredPerformance, generate_benchmark_source, measure_kernel
+from .report import performance_report
+from .roofline import RooflinePoint, roofline
+from .selection import SelectionReport, VariantRating, select_variants
+
+__all__ = [
+    "ECMModel",
+    "ECMPrediction",
+    "combine_kernels_mlups",
+    "SKYLAKE_WEIGHTS",
+    "OperationCount",
+    "count_operations",
+    "InstructionTable",
+    "SKYLAKE_TABLE",
+    "HASWELL_TABLE",
+    "weights_for",
+    "TrafficAnalysis",
+    "analyze_traffic",
+    "blocking_factor",
+    "HASWELL_2690V3",
+    "MACHINES",
+    "SKYLAKE_8174",
+    "CacheLevel",
+    "MachineModel",
+    "performance_report",
+    "RooflinePoint",
+    "roofline",
+    "MeasuredPerformance",
+    "generate_benchmark_source",
+    "measure_kernel",
+    "SelectionReport",
+    "VariantRating",
+    "select_variants",
+]

@@ -1,0 +1,87 @@
+"""Per-microarchitecture instruction throughput tables (the IACA substitute).
+
+The paper determines compute throughput with Intel's closed-source IACA
+tool; as an open substitute we carry Agner-Fog-style reciprocal-throughput
+tables per microarchitecture and derive the normalized-FLOP weights the
+counting machinery (:mod:`repro.perfmodel.flops`) uses.  Weights are
+expressed relative to one SIMD add/mul (≈ the paper's normalization: on
+Skylake a double division costs ~16 add-slots, an approximate sqrt ~10, an
+approximate rsqrt ~2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["InstructionTable", "SKYLAKE_TABLE", "HASWELL_TABLE", "weights_for"]
+
+
+@dataclass(frozen=True)
+class InstructionTable:
+    """Reciprocal throughputs (cycles per SIMD instruction) for doubles."""
+
+    name: str
+    simd_doubles: int
+    add: float            # vaddpd
+    mul: float            # vmulpd
+    fma: float            # vfmadd*
+    div: float            # vdivpd (full vector)
+    sqrt: float           # vsqrtpd
+    rsqrt_approx: float | None   # vrsqrt14pd (AVX-512 only)
+    blend: float = 1.0
+
+    def weights(self) -> Mapping[str, float]:
+        """Normalized-FLOP weights relative to one add/mul slot."""
+        base = self.add
+        sqrt_approx = self.rsqrt_approx * 5 if self.rsqrt_approx else self.sqrt
+        return {
+            "adds": 1.0,
+            "muls": self.mul / base,
+            "divs": self.div / base,
+            "sqrts": sqrt_approx / base,
+            "rsqrts": (self.rsqrt_approx or self.sqrt) / base,
+            "fast_divs": max(self.div / base / 4.0, 2.0),
+            "fast_sqrts": max(sqrt_approx / base / 2.5, 2.0),
+            "fast_rsqrts": max((self.rsqrt_approx or self.sqrt) / base / 2.0, 1.0),
+            "funcs": 20.0,
+            "rngs": 12.0,
+            "blends": self.blend / base,
+        }
+
+
+#: Skylake-SP with AVX-512 (Agner Fog: vdivpd zmm ≈ 16 cy, vsqrtpd ≈ 19/31,
+#: vrsqrt14pd ≈ 2 cy).  Matches the paper's 1/1/16/10/2 weighting.
+SKYLAKE_TABLE = InstructionTable(
+    name="Skylake-SP (AVX-512)",
+    simd_doubles=8,
+    add=1.0,
+    mul=1.0,
+    fma=1.0,
+    div=16.0,
+    sqrt=19.0,
+    rsqrt_approx=2.0,
+)
+
+#: Haswell with AVX2 (vdivpd ymm ≈ 16–20 cy, vsqrtpd ymm ≈ 19–28, no
+#: double-precision rsqrt approximation).
+HASWELL_TABLE = InstructionTable(
+    name="Haswell (AVX2)",
+    simd_doubles=4,
+    add=1.0,
+    mul=1.0,
+    fma=1.0,
+    div=20.0,
+    sqrt=22.0,
+    rsqrt_approx=None,
+)
+
+_TABLES = {"skylake": SKYLAKE_TABLE, "haswell": HASWELL_TABLE}
+
+
+def weights_for(arch: str) -> Mapping[str, float]:
+    """Normalized-FLOP weight table for a microarchitecture name."""
+    key = arch.lower()
+    if key not in _TABLES:
+        raise KeyError(f"unknown architecture {arch!r}; have {sorted(_TABLES)}")
+    return _TABLES[key].weights()

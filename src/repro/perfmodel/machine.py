@@ -1,0 +1,101 @@
+"""Machine models for analytic performance prediction (paper §3.6).
+
+A :class:`MachineModel` captures "the most essential aspects of a compute
+system": ALU throughput and the cache/memory hierarchy.  The two CPU systems
+of the paper are provided:
+
+* ``SKYLAKE_8174`` — one socket of SuperMUC-NG (Intel Xeon Platinum 8174,
+  24 cores, AVX-512),
+* ``HASWELL_2690V3`` — the Piz Daint host CPU (Xeon E5-2690 v3).
+
+Values follow the published specifications and the paper's own artifact
+appendix (``lscpu`` output).  The GPU model lives in :mod:`repro.gpu.model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+__all__ = ["MachineModel", "CacheLevel", "SKYLAKE_8174", "HASWELL_2690V3", "MACHINES"]
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the memory hierarchy."""
+
+    name: str
+    size_bytes: int          # capacity visible to one core (L3: per-socket)
+    bandwidth_bytes_per_cycle: float   # per core, towards the next level
+    shared: bool = False     # shared across the socket (L3/memory)
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Parameters of one CPU socket for the ECM model."""
+
+    name: str
+    clock_ghz: float                 # sustained clock under AVX load
+    cores_per_socket: int
+    sockets_per_node: int
+    simd_doubles: int                # SIMD width in doubles
+    fma_ports: int                   # superscalar FP pipelines
+    cache_levels: tuple[CacheLevel, ...]
+    mem_bandwidth_gbs: float         # saturated per-socket memory bandwidth
+    mem_latency_penalty: float = 0.35  # utilization-dependent inflation factor
+
+    @property
+    def flop_throughput_per_cycle(self) -> float:
+        """Normalized-FLOP units retired per cycle per core.
+
+        Normalized FLOPs already weight div/sqrt by their inverse
+        throughput, so the ALU retires ``simd_doubles * fma_ports`` units
+        per cycle.
+        """
+        return self.simd_doubles * self.fma_ports
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.cores_per_socket * self.sockets_per_node
+
+    def mem_bandwidth_bytes_per_cycle(self) -> float:
+        """Per-socket memory bandwidth expressed in bytes/cycle."""
+        return self.mem_bandwidth_gbs / self.clock_ghz
+
+    def level(self, name: str) -> CacheLevel:
+        for lv in self.cache_levels:
+            if lv.name == name:
+                return lv
+        raise KeyError(name)
+
+
+SKYLAKE_8174 = MachineModel(
+    name="Intel Xeon Platinum 8174 (SuperMUC-NG)",
+    clock_ghz=2.3,                  # AVX-512 sustained clock
+    cores_per_socket=24,
+    sockets_per_node=2,
+    simd_doubles=8,                 # AVX-512
+    fma_ports=2,
+    cache_levels=(
+        CacheLevel("L1", 32 * 1024, 128.0),
+        CacheLevel("L2", 1024 * 1024, 64.0),
+        CacheLevel("L3", 33 * 1024 * 1024, 32.0, shared=True),
+    ),
+    mem_bandwidth_gbs=110.0,
+)
+
+HASWELL_2690V3 = MachineModel(
+    name="Intel Xeon E5-2690 v3 (Piz Daint host)",
+    clock_ghz=2.6,
+    cores_per_socket=12,
+    sockets_per_node=1,
+    simd_doubles=4,                 # AVX2
+    fma_ports=2,
+    cache_levels=(
+        CacheLevel("L1", 32 * 1024, 64.0),
+        CacheLevel("L2", 256 * 1024, 32.0),
+        CacheLevel("L3", 30 * 1024 * 1024, 16.0, shared=True),
+    ),
+    mem_bandwidth_gbs=60.0,
+)
+
+MACHINES = {"skylake": SKYLAKE_8174, "haswell": HASWELL_2690V3}

@@ -1,0 +1,140 @@
+"""Automatic kernel-variant selection (the paper's §3.6 feedback loop).
+
+"The major challenge in code generation and performance optimizing
+transformations is identifying and selecting the fastest variant.  We use
+Kerncraft's automated performance modeling capability to provide a
+performance rating of the candidates."
+
+:func:`select_variants` builds all {full, split} × {φ, µ} kernel variants
+of a model, rates each candidate — with the ECM model at the target core
+count, with compiled single-core measurements, or a blend — and returns the
+winning :class:`~repro.pfm.model.PhaseFieldKernelSet` (e.g. φ-full +
+µ-split for P1 at full socket, the combination used for the paper's
+production runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..pfm.model import GrandPotentialModel, PhaseFieldKernelSet
+from .ecm import ECMModel
+from .machine import MachineModel, SKYLAKE_8174
+
+__all__ = ["VariantRating", "SelectionReport", "select_variants"]
+
+
+@dataclass
+class VariantRating:
+    """Rating of one kernel variant for one equation family."""
+
+    field: str                # "phi" | "mu"
+    variant: str              # "full" | "split"
+    modeled_mlups: float | None
+    measured_mlups: float | None
+
+    def score(self) -> float:
+        """Higher is better; prefers measurements when available."""
+        if self.measured_mlups is not None and self.modeled_mlups is not None:
+            return (self.measured_mlups * self.modeled_mlups) ** 0.5
+        return self.measured_mlups or self.modeled_mlups or 0.0
+
+
+@dataclass
+class SelectionReport:
+    """Outcome of the variant selection."""
+
+    ratings: list[VariantRating]
+    chosen_phi: str
+    chosen_mu: str
+    kernel_set: PhaseFieldKernelSet
+
+    def summary(self) -> str:
+        lines = ["variant selection:"]
+        for r in self.ratings:
+            parts = []
+            if r.modeled_mlups is not None:
+                parts.append(f"model {r.modeled_mlups:8.2f} MLUP/s")
+            if r.measured_mlups is not None:
+                parts.append(f"measured {r.measured_mlups:8.2f} MLUP/s")
+            lines.append(f"  {r.field}-{r.variant:5s}: {', '.join(parts)}")
+        lines.append(f"  -> φ-{self.chosen_phi} + µ-{self.chosen_mu}")
+        return "\n".join(lines)
+
+
+def _combined_mlups(predictions, cores: int) -> float:
+    return 1.0 / sum(1.0 / p.mlups(cores) for p in predictions)
+
+
+def select_variants(
+    model: GrandPotentialModel,
+    machine: MachineModel = SKYLAKE_8174,
+    block_shape: tuple[int, ...] = (60, 60, 60),
+    cores: int | None = None,
+    mode: str = "model",
+    measure_shape: tuple[int, ...] | None = None,
+) -> SelectionReport:
+    """Rate all kernel variants and assemble the fastest combination.
+
+    Parameters
+    ----------
+    mode:
+        ``"model"`` — ECM rating at the target core count (fast, no
+        compiler needed); ``"measure"`` — compiled single-core benchmark
+        runs; ``"both"`` — geometric mean of the two ratings.
+    """
+    if mode not in ("model", "measure", "both"):
+        raise ValueError("mode must be 'model', 'measure' or 'both'")
+    cores = cores or machine.cores_per_socket
+    dim = model.params.dim
+    measure_shape = measure_shape or tuple(min(s, 40) for s in block_shape)[:dim]
+    block_shape = tuple(block_shape)[:dim]
+
+    sets = {
+        ("full", "full"): model.create_kernels("full", "full"),
+        ("split", "split"): model.create_kernels("split", "split"),
+    }
+    candidates = {
+        ("phi", "full"): sets[("full", "full")].phi_kernels,
+        ("phi", "split"): sets[("split", "split")].phi_kernels,
+        ("mu", "full"): sets[("full", "full")].mu_kernels,
+        ("mu", "split"): sets[("split", "split")].mu_kernels,
+    }
+
+    ecm = ECMModel(machine)
+    ratings: list[VariantRating] = []
+    for (field, variant), kernels in candidates.items():
+        modeled = measured = None
+        if mode in ("model", "both"):
+            preds = [ecm.predict(k, block_shape) for k in kernels]
+            modeled = _combined_mlups(preds, cores)
+        if mode in ("measure", "both"):
+            from .benchmark_mode import measure_kernel
+
+            rates = [measure_kernel(k, measure_shape).mlups for k in kernels]
+            measured = 1.0 / sum(1.0 / r for r in rates)
+        ratings.append(
+            VariantRating(field=field, variant=variant,
+                          modeled_mlups=modeled, measured_mlups=measured)
+        )
+
+    def best(field: str) -> str:
+        field_ratings = [r for r in ratings if r.field == field]
+        return max(field_ratings, key=lambda r: r.score()).variant
+
+    chosen_phi, chosen_mu = best("phi"), best("mu")
+    base = sets[("full", "full")]
+    kernel_set = PhaseFieldKernelSet(
+        model=model,
+        phi_kernels=candidates[("phi", chosen_phi)],
+        projection_kernel=base.projection_kernel,
+        mu_kernels=candidates[("mu", chosen_mu)],
+        variant_phi=chosen_phi,
+        variant_mu=chosen_mu,
+    )
+    return SelectionReport(
+        ratings=ratings,
+        chosen_phi=chosen_phi,
+        chosen_mu=chosen_mu,
+        kernel_set=kernel_set,
+    )

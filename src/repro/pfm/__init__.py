@@ -1,0 +1,56 @@
+"""Grand-potential phase-field models — the paper's application layer."""
+
+from .antitrapping import anti_trapping_current
+from .driving_force import GrandPotentialDrivingForce, ParabolicPhaseData
+from .gradient_energy import (
+    CubicAnisotropy,
+    anisotropic_gradient_energy,
+    generalized_gradient,
+    isotropic_gradient_energy,
+    rotation_matrix,
+)
+from .initialize import (
+    add_seed,
+    interface_profile,
+    lamellar_front,
+    normalize_phases,
+    planar_front,
+)
+from .interpolation import g_interp, h_interp, h_interp_prime, h_quintic
+from .model import GrandPotentialModel, PhaseFieldKernelSet
+from .parameters import ModelParameters, make_p1, make_p2, make_two_phase_binary
+from .potentials import multi_obstacle_potential, multi_well_potential
+from .solver import SingleBlockSolver
+from .temperature import TemperatureField, constant_temperature, gradient_temperature
+
+__all__ = [
+    "anti_trapping_current",
+    "GrandPotentialDrivingForce",
+    "ParabolicPhaseData",
+    "CubicAnisotropy",
+    "anisotropic_gradient_energy",
+    "generalized_gradient",
+    "isotropic_gradient_energy",
+    "rotation_matrix",
+    "add_seed",
+    "interface_profile",
+    "lamellar_front",
+    "normalize_phases",
+    "planar_front",
+    "g_interp",
+    "h_interp",
+    "h_interp_prime",
+    "h_quintic",
+    "GrandPotentialModel",
+    "PhaseFieldKernelSet",
+    "ModelParameters",
+    "make_p1",
+    "make_p2",
+    "make_two_phase_binary",
+    "multi_obstacle_potential",
+    "multi_well_potential",
+    "SingleBlockSolver",
+    "TemperatureField",
+    "constant_temperature",
+    "gradient_temperature",
+]

@@ -1,0 +1,178 @@
+"""Single-block time stepping — Algorithm 1 of the paper.
+
+One time step:
+
+1. ``φ_dst ← φ-kernel(φ_src^{D3C7}, µ_src^{D3C1})``   ("φ-full" or "φ-split")
+2. Gibbs-simplex projection of ``φ_dst`` (obstacle potential)
+3. boundary handling of ``φ_dst``
+4. ``µ_dst ← µ-kernel(µ_src^{D3C7}, φ_src^{D3C19}, φ_dst^{D3C19})``
+5. boundary handling of ``µ_dst``
+6. swap ``φ_src ↔ φ_dst`` and ``µ_src ↔ µ_dst``
+
+The distributed-memory version of the same loop (ghost-layer exchange
+instead of boundary fills) lives in :mod:`repro.parallel.timeloop`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..backends.numpy_backend import compile_numpy_kernel, create_arrays
+from ..parallel.boundary import fill_ghosts
+from .model import GrandPotentialModel, PhaseFieldKernelSet
+
+__all__ = ["SingleBlockSolver"]
+
+
+def _compiler(backend: str):
+    """Kernel compiler for the requested backend ('numpy' or 'c')."""
+    if backend == "numpy":
+        return compile_numpy_kernel
+    if backend == "c":
+        from ..backends.c_backend import compile_c_kernel
+
+        return compile_c_kernel
+    raise ValueError(f"unknown backend {backend!r}; choose 'numpy' or 'c'")
+
+
+class SingleBlockSolver:
+    """Runs a phase-field model on one rectangular block (NumPy or C kernels)."""
+
+    def __init__(
+        self,
+        kernel_set: PhaseFieldKernelSet,
+        interior_shape: tuple[int, ...],
+        boundary: str | tuple = "periodic",
+        seed: int = 0,
+        backend: str = "numpy",
+    ):
+        self.kernel_set = kernel_set
+        self.model: GrandPotentialModel = kernel_set.model
+        self.params = self.model.params
+        dim = self.params.dim
+        if len(interior_shape) != dim:
+            raise ValueError(
+                f"interior_shape must have {dim} entries, got {interior_shape}"
+            )
+        self.shape = tuple(int(s) for s in interior_shape)
+        self.boundary = boundary
+        self.seed = seed
+        self.ghost_layers = max(kernel_set.ghost_layers, 1)
+
+        compile_kernel = _compiler(backend)
+        self.backend = backend
+        self._phi = [compile_kernel(k) for k in kernel_set.phi_kernels]
+        self._project = compile_kernel(kernel_set.projection_kernel)
+        self._mu = [compile_kernel(k) for k in kernel_set.mu_kernels]
+
+        self.arrays = create_arrays(kernel_set.fields, self.shape, self.ghost_layers)
+        self.time_step = 0
+        self.time = 0.0
+        self._callbacks: list[tuple[int, object]] = []
+
+    # -- state access ---------------------------------------------------------
+
+    def _interior(self, name: str) -> np.ndarray:
+        gl = self.ghost_layers
+        sl = (slice(gl, -gl),) * self.params.dim
+        return self.arrays[name][sl]
+
+    @property
+    def phi(self) -> np.ndarray:
+        """Interior view of the phase fields, shape (*spatial, N)."""
+        return self._interior("phi")
+
+    @property
+    def mu(self) -> np.ndarray:
+        """Interior view of the chemical potential, shape (*spatial, K−1)."""
+        return self._interior("mu")
+
+    def set_state(self, phi: np.ndarray, mu: np.ndarray | float = 0.0) -> None:
+        """Initialize interior φ and µ (µ may be a constant)."""
+        if phi.shape != self.shape + (self.params.n_phases,):
+            raise ValueError(
+                f"phi must have shape {self.shape + (self.params.n_phases,)}"
+            )
+        self._interior("phi")[...] = phi
+        self._interior("mu")[...] = mu
+        self._fill("phi")
+        self._fill("mu")
+
+    # -- stepping ----------------------------------------------------------------
+
+    def _fill(self, name: str) -> None:
+        fill_ghosts(self.arrays[name], self.ghost_layers, self.params.dim, self.boundary)
+
+    def _run(self, compiled, **extra) -> None:
+        compiled(
+            self.arrays,
+            ghost_layers=self.ghost_layers,
+            t=self.time,
+            time_step=self.time_step,
+            seed=self.seed,
+            **extra,
+        )
+
+    def add_callback(self, fn, every: int = 1) -> None:
+        """Register an in-situ hook ``fn(solver)`` run every *every* steps.
+
+        The paper's §4.1 Python interface for "in-situ evaluation and
+        computational steering": callbacks see (and may modify) the live
+        state between time steps.
+        """
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self._callbacks.append((int(every), fn))
+
+    def save_checkpoint(self, path) -> None:
+        """Write φ, µ and the time state to a compressed checkpoint."""
+        from ..analysis.io import save_snapshot
+
+        save_snapshot(path, self.phi.copy(), self.mu.copy(), self.time, self.time_step)
+
+    def load_checkpoint(self, path) -> None:
+        """Restore a checkpoint written by :meth:`save_checkpoint`."""
+        from ..analysis.io import load_snapshot
+
+        data = load_snapshot(path)
+        self.set_state(data["phi"], data["mu"])
+        self.time = data["time"]
+        self.time_step = data["time_step"]
+
+    def step(self, n_steps: int = 1) -> None:
+        """Advance the solution by *n_steps* explicit Euler steps."""
+        for _ in range(n_steps):
+            for k in self._phi:
+                self._run(k)
+            self._run(self._project)
+            self._fill("phi_dst")
+            for k in self._mu:
+                self._run(k)
+            self._fill("mu_dst")
+            self.arrays["phi"], self.arrays["phi_dst"] = (
+                self.arrays["phi_dst"],
+                self.arrays["phi"],
+            )
+            self.arrays["mu"], self.arrays["mu_dst"] = (
+                self.arrays["mu_dst"],
+                self.arrays["mu"],
+            )
+            self.time_step += 1
+            self.time += self.params.dt
+            for every, fn in self._callbacks:
+                if self.time_step % every == 0:
+                    fn(self)
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def phase_fractions(self) -> np.ndarray:
+        """Volume fraction of every phase."""
+        return self.phi.reshape(-1, self.params.n_phases).mean(axis=0)
+
+    def check_invariants(self, atol: float = 1e-9) -> None:
+        """Assert Σφ = 1 and φ ∈ [0, 1] (post-projection invariants)."""
+        phi = self.phi
+        if not np.all((phi >= -atol) & (phi <= 1 + atol)):
+            raise AssertionError("phase fields left [0, 1]")
+        if not np.allclose(phi.sum(axis=-1), 1.0, atol=1e-7):
+            raise AssertionError("phase fields do not sum to one")

@@ -1,0 +1,5 @@
+"""Counter-based random number generation (Philox-4x32-10)."""
+
+from .philox import philox_4x32_10, philox_field, philox_uniform_double2
+
+__all__ = ["philox_4x32_10", "philox_field", "philox_uniform_double2"]

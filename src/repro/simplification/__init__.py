@@ -1,0 +1,17 @@
+"""Expression optimization: constant folding, term simplification, CSE."""
+
+from .passes import (
+    count_nodes,
+    global_cse,
+    optimize,
+    simplify_terms,
+    substitute_parameters,
+)
+
+__all__ = [
+    "count_nodes",
+    "global_cse",
+    "optimize",
+    "simplify_terms",
+    "substitute_parameters",
+]

@@ -1,0 +1,124 @@
+"""Expression-level optimization passes (paper §3.3, last paragraphs).
+
+The stencil representation is rewritten to reduce floating point work:
+
+* :func:`substitute_parameters` — constant folding: model parameters that
+  stay fixed during a run are replaced by numeric values at "compile time";
+  this shrinks the expression trees considerably and enables the automatic
+  exploitation of special configurations (symmetric diffusivities, isotropy,
+  constant temperature, …) that a generic runtime-configured code would have
+  to spend FLOPs on.
+* :func:`simplify_terms` — per-term expansion/factoring heuristics.
+* :func:`global_cse` — a global common-subexpression elimination across all
+  terms, producing the final SSA form.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import sympy as sp
+
+from ..symbolic.assignment import Assignment, AssignmentCollection
+from ..symbolic.field import FieldAccess
+
+__all__ = [
+    "substitute_parameters",
+    "simplify_terms",
+    "global_cse",
+    "optimize",
+    "count_nodes",
+]
+
+
+def substitute_parameters(
+    ac: AssignmentCollection, values: Mapping[sp.Symbol | str, float]
+) -> AssignmentCollection:
+    """Fold numeric parameter values into the assignments.
+
+    Keys may be symbols or symbol names.  Field accesses can never be
+    substituted.  Exact zeros/ones trigger sympy's automatic simplification
+    (e.g. an isotropy factor of 1 removes the whole anisotropy computation).
+    """
+    by_name: dict[str, sp.Expr] = {}
+    for k, v in values.items():
+        name = k.name if isinstance(k, sp.Symbol) else str(k)
+        by_name[name] = sp.nsimplify(v) if v == int(v) else sp.Float(v)
+
+    def fold(expr: sp.Expr) -> sp.Expr:
+        mapping = {
+            s: by_name[s.name]
+            for s in expr.free_symbols
+            if not isinstance(s, FieldAccess) and s.name in by_name
+        }
+        return expr.xreplace(mapping) if mapping else expr
+
+    return ac.transform_rhs(fold)
+
+
+def simplify_terms(ac: AssignmentCollection, aggressive: bool = False) -> AssignmentCollection:
+    """Simplify every assignment individually by expansion or factoring.
+
+    The cheap default applies :func:`sympy.factor_terms` (pulls common
+    factors out of sums) and keeps whichever of {original, factored} has
+    fewer nodes.  ``aggressive=True`` additionally tries ``expand`` followed
+    by re-factoring, which can merge terms at higher symbolic cost.
+    """
+
+    def best(expr: sp.Expr) -> sp.Expr:
+        candidates = [expr]
+        try:
+            candidates.append(sp.factor_terms(expr))
+        except Exception:  # pragma: no cover - sympy edge cases
+            pass
+        if aggressive:
+            try:
+                expanded = sp.expand(expr)
+                candidates.append(expanded)
+                candidates.append(sp.factor_terms(expanded))
+            except Exception:  # pragma: no cover
+                pass
+        return min(candidates, key=count_nodes)
+
+    return ac.transform_rhs(best)
+
+
+def count_nodes(expr: sp.Expr) -> int:
+    """Total number of nodes in the expression tree (simplicity metric)."""
+    return expr.count_ops(visual=False) + len(expr.atoms(sp.Symbol))
+
+
+def global_cse(ac: AssignmentCollection, symbol_prefix: str = "xi") -> AssignmentCollection:
+    """Global common-subexpression elimination across all assignments.
+
+    Existing subexpressions are inlined first so that repeated runs converge
+    to the same canonical SSA form.
+    """
+    inlined = ac.inline_subexpressions()
+    rhs_list = [a.rhs for a in inlined.main_assignments]
+    replacements, reduced = sp.cse(
+        rhs_list, symbols=sp.numbered_symbols(symbol_prefix + "_", real=True), order="none"
+    )
+    subexpressions = [Assignment(lhs, rhs) for lhs, rhs in replacements]
+    main = [
+        Assignment(a.lhs, new_rhs)
+        for a, new_rhs in zip(inlined.main_assignments, reduced)
+    ]
+    result = ac.copy(main, subexpressions)
+    result.validate()
+    return result
+
+
+def optimize(
+    ac: AssignmentCollection,
+    parameter_values: Mapping | None = None,
+    cse: bool = True,
+    aggressive: bool = False,
+) -> AssignmentCollection:
+    """The standard pipeline: fold constants → simplify terms → global CSE."""
+    if parameter_values:
+        ac = substitute_parameters(ac, parameter_values)
+    ac = simplify_terms(ac, aggressive=aggressive)
+    if cse:
+        ac = global_cse(ac)
+    return ac

@@ -1,0 +1,51 @@
+"""Symbolic layers: fields, continuous operators, functionals, PDEs, SSA form."""
+
+from .assignment import Assignment, AssignmentCollection
+from .coordinates import CoordinateSymbol, coord, dt, dx, spacing, t, x_
+from .field import Field, FieldAccess, fields
+from .functional import EnergyFunctional, functional_derivative
+from .operators import (
+    Diff,
+    Divergence,
+    Transient,
+    diff,
+    div,
+    expand_diff,
+    grad,
+    gradient_norm,
+    transient,
+)
+from .pde import EvolutionEquation, PDESystem
+from .random import SEED, TIME_STEP, RandomValue, random_uniform
+
+__all__ = [
+    "Assignment",
+    "AssignmentCollection",
+    "CoordinateSymbol",
+    "coord",
+    "dt",
+    "dx",
+    "spacing",
+    "t",
+    "x_",
+    "Field",
+    "FieldAccess",
+    "fields",
+    "EnergyFunctional",
+    "functional_derivative",
+    "Diff",
+    "Divergence",
+    "Transient",
+    "diff",
+    "div",
+    "expand_diff",
+    "grad",
+    "gradient_norm",
+    "transient",
+    "EvolutionEquation",
+    "PDESystem",
+    "RandomValue",
+    "random_uniform",
+    "SEED",
+    "TIME_STEP",
+]

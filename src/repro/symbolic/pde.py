@@ -1,0 +1,95 @@
+"""Evolution equations — the PDE layer.
+
+An :class:`EvolutionEquation` couples the time derivative of one field
+component to a right-hand side expression:
+
+.. math::  r(\\phi)\\,\\partial_t u_\\alpha = \\mathrm{rhs}_\\alpha
+
+with an optional local relaxation prefactor ``r`` (e.g. the ``τ(φ) ε`` of the
+Allen-Cahn equation).  A :class:`PDESystem` groups the equations that one
+compute kernel should update (e.g. all N phase fields, or all K−1 chemical
+potential components).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import sympy as sp
+
+from .field import Field, FieldAccess
+from .operators import Transient
+
+__all__ = ["EvolutionEquation", "PDESystem"]
+
+
+class EvolutionEquation:
+    """``relaxation * ∂t(unknown) = rhs`` for a single field component."""
+
+    def __init__(self, unknown: FieldAccess, rhs: sp.Expr, relaxation: sp.Expr = 1):
+        if not isinstance(unknown, FieldAccess):
+            raise TypeError("unknown must be a FieldAccess")
+        if any(o != 0 for o in unknown.offsets):
+            raise ValueError("evolution equations must be written for the center cell")
+        self.unknown = unknown
+        self.rhs = sp.sympify(rhs)
+        self.relaxation = sp.sympify(relaxation)
+
+    @property
+    def field(self) -> Field:
+        return self.unknown.field
+
+    def as_residual(self) -> sp.Expr:
+        """``relaxation * ∂t u − rhs`` — the paper's ``φ_pdes`` form."""
+        return self.relaxation * Transient(self.unknown) - self.rhs
+
+    def subs(self, mapping) -> "EvolutionEquation":
+        return EvolutionEquation(
+            self.unknown,
+            self.rhs.xreplace(mapping),
+            self.relaxation.xreplace(mapping),
+        )
+
+    def __repr__(self):
+        r = "" if self.relaxation == 1 else f"{self.relaxation} * "
+        return f"{r}dt({self.unknown}) = {sp.sstr(self.rhs)[:80]}..."
+
+
+class PDESystem:
+    """The set of evolution equations updated by one kernel."""
+
+    def __init__(self, equations: Sequence[EvolutionEquation], name: str = "pde"):
+        equations = list(equations)
+        if not equations:
+            raise ValueError("PDESystem needs at least one equation")
+        fields = {eq.field for eq in equations}
+        if len(fields) != 1:
+            raise ValueError(
+                "all equations of one system must evolve the same field; "
+                f"got {sorted(f.name for f in fields)}"
+            )
+        unknowns = [eq.unknown for eq in equations]
+        if len(set(unknowns)) != len(unknowns):
+            raise ValueError("duplicate unknown in PDE system")
+        self.equations = equations
+        self.name = name
+
+    @property
+    def field(self) -> Field:
+        return self.equations[0].field
+
+    @property
+    def unknowns(self) -> list[FieldAccess]:
+        return [eq.unknown for eq in self.equations]
+
+    def subs(self, mapping) -> "PDESystem":
+        return PDESystem([eq.subs(mapping) for eq in self.equations], name=self.name)
+
+    def __iter__(self) -> Iterable[EvolutionEquation]:
+        return iter(self.equations)
+
+    def __len__(self):
+        return len(self.equations)
+
+    def __repr__(self):
+        return f"PDESystem({self.name!r}, {len(self.equations)} equations on {self.field.name})"

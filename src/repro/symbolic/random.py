@@ -1,0 +1,75 @@
+"""Symbolic fluctuation terms lowered to counter-based RNG calls.
+
+The PDE layer may add a fluctuation ``amplitude * random(-1, 1,
+kind='philox')`` to an evolution equation (Eq. 7 of the paper).  During
+discretization this becomes a :class:`RandomValue` leaf which backends lower
+to a Philox-4x32-10 call keyed on (cell index, time step, stream) — stateless
+and free of inter-cell data dependencies, so kernels stay trivially parallel.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import sympy as sp
+
+__all__ = ["RandomValue", "random_uniform", "TIME_STEP", "SEED"]
+
+#: Integer kernel parameter: the current time step (used as Philox key word).
+TIME_STEP = sp.Symbol("time_step", integer=True, nonnegative=True)
+
+#: Integer kernel parameter: the global seed (second Philox key word).
+SEED = sp.Symbol("seed", integer=True, nonnegative=True)
+
+_stream_counter = itertools.count()
+
+
+class RandomValue(sp.Expr):
+    """A uniform random number in ``[low, high)``, unique per (cell, step).
+
+    ``stream`` distinguishes independent random numbers used within the same
+    kernel; it selects one of the four 32-bit lanes / successive counters of
+    the Philox generator.
+    """
+
+    is_real = True
+    is_commutative = True
+
+    def __new__(cls, low=-1, high=1, stream: int | None = None, kind: str = "philox"):
+        if kind != "philox":
+            raise ValueError(f"unsupported RNG kind {kind!r}; only 'philox' is implemented")
+        if stream is None:
+            stream = next(_stream_counter)
+        obj = sp.Expr.__new__(
+            cls, sp.sympify(low), sp.sympify(high), sp.Integer(stream)
+        )
+        return obj
+
+    @property
+    def low(self) -> sp.Expr:
+        return self.args[0]
+
+    @property
+    def high(self) -> sp.Expr:
+        return self.args[1]
+
+    @property
+    def stream(self) -> int:
+        return int(self.args[2])
+
+    @property
+    def free_symbols(self):
+        return self.low.free_symbols | self.high.free_symbols | {TIME_STEP, SEED}
+
+    def _sympystr(self, printer):
+        return (
+            f"philox_uniform({printer._print(self.low)}, "
+            f"{printer._print(self.high)}, stream={self.stream})"
+        )
+
+    _sympyrepr = _sympystr
+
+
+def random_uniform(low=-1, high=1, kind: str = "philox", stream: int | None = None) -> RandomValue:
+    """DSL entry point mirroring the paper's ``random(-1, 1, kind='philox')``."""
+    return RandomValue(low, high, stream=stream, kind=kind)

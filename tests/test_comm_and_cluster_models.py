@@ -1,0 +1,122 @@
+"""Unit tests for the communication cost model and cluster simulator."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ARIES_DRAGONFLY,
+    OMNIPATH_FAT_TREE,
+    ClusterModel,
+    CommOptions,
+    NetworkModel,
+    StepTimeModel,
+)
+
+
+def _step_model(**overrides):
+    defaults = dict(
+        compute_mlups=400.0,
+        block_shape=(100, 100, 100),
+        exchanged_doubles_per_cell=6.0,
+        network=ARIES_DRAGONFLY,
+    )
+    defaults.update(overrides)
+    return StepTimeModel(**defaults)
+
+
+class TestStepTimeModel:
+    def test_compute_time(self):
+        m = _step_model()
+        assert m.compute_time_s() == pytest.approx(1e6 / 400e6)
+
+    def test_overlap_never_slower(self):
+        on = _step_model(options=CommOptions(overlap=True))
+        off = _step_model(options=CommOptions(overlap=False))
+        assert on.step_time_s() <= off.step_time_s()
+
+    def test_gpudirect_removes_staging(self):
+        gd = _step_model(options=CommOptions(gpudirect=True))
+        host = _step_model(options=CommOptions(gpudirect=False))
+        h_gd, n_gd = gd.comm_time_parts_s()
+        h_host, n_host = host.comm_time_parts_s()
+        assert n_gd == 0.0 and n_host > 0.0
+        assert h_gd == pytest.approx(h_host)
+
+    def test_staging_not_hidden_by_overlap(self):
+        """Table 2's key subtlety: overlap cannot hide host staging."""
+        m = _step_model(options=CommOptions(overlap=True, gpudirect=False))
+        _, non_hideable = m.comm_time_parts_s()
+        assert m.step_time_s() >= m.compute_time_s() + non_hideable - 1e-12
+
+    def test_parallel_efficiency_bounds(self):
+        m = _step_model()
+        eff = m.parallel_efficiency()
+        assert 0.0 < eff <= 1.0
+
+    def test_mlups_consistent(self):
+        m = _step_model()
+        assert m.mlups() == pytest.approx(1e6 / m.step_time_s() / 1e6)
+
+    def test_small_blocks_comm_dominated(self):
+        big = _step_model(block_shape=(200, 200, 200))
+        small = _step_model(block_shape=(8, 8, 8))
+        assert small.parallel_efficiency() < big.parallel_efficiency()
+
+    def test_per_step_overhead(self):
+        plain = _step_model()
+        loaded = _step_model(
+            options=CommOptions(per_step_overhead_us=5000.0)
+        )
+        assert loaded.step_time_s() >= plain.step_time_s() + 4e-3
+
+
+class TestNetworkModel:
+    def test_efficiency_decreases_with_scale(self):
+        for net in (OMNIPATH_FAT_TREE, ARIES_DRAGONFLY):
+            assert net.efficiency(1) >= net.efficiency(1024) >= net.efficiency(10**6)
+            assert net.efficiency(10**6) >= 0.7
+
+    def test_dragonfly_more_contended(self):
+        ft = OMNIPATH_FAT_TREE.efficiency(4096)
+        df = ARIES_DRAGONFLY.efficiency(4096)
+        assert df <= ft
+
+
+class TestClusterModel:
+    def _cluster(self, **overrides):
+        defaults = dict(
+            name="test",
+            network=OMNIPATH_FAT_TREE,
+            ranks_per_node=48,
+            rank_compute_mlups=8.0,
+            exchanged_doubles_per_cell=6.0,
+        )
+        defaults.update(overrides)
+        return ClusterModel(**defaults)
+
+    def test_weak_scaling_flat(self):
+        pts = self._cluster().weak_scaling((60, 60, 60), [48, 48 * 64, 48 * 4096])
+        rates = [p.mlups_per_rank for p in pts]
+        assert max(rates) / min(rates) < 1.1
+
+    def test_strong_scaling_efficiency_monotone(self):
+        cluster = self._cluster(
+            options=CommOptions(per_step_overhead_us=500.0)
+        )
+        pts = cluster.strong_scaling((512, 256, 256), [48, 768, 152064])
+        effs = [p.efficiency for p in pts]
+        assert effs[0] > effs[-1]
+        # aggregate throughput must still increase
+        assert pts[-1].steps_per_second > pts[0].steps_per_second
+
+    def test_inter_node_fraction_below_one(self):
+        c = self._cluster()
+        assert 0.0 < c._inter_node_fraction() < 1.0
+        single = self._cluster(ranks_per_node=1)
+        assert single._inter_node_fraction() == 1.0
+
+    def test_with_options_copy(self):
+        c = self._cluster()
+        c2 = c.with_options(overlap=False)
+        assert c.options.overlap and not c2.options.overlap
+        assert c2.rank_compute_mlups == c.rank_compute_mlups

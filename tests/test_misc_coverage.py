@@ -1,0 +1,216 @@
+"""Coverage for smaller code paths: typing, approximations, operators,
+CUDA restrictions, GPU model bounds, misc API behaviors."""
+
+import numpy as np
+import pytest
+import sympy as sp
+
+from repro.ir import (
+    DOUBLE,
+    INT64,
+    KernelConfig,
+    create_kernel,
+    fast_division,
+    fast_rsqrt,
+    fast_sqrt,
+    infer_types,
+    insert_approximations,
+)
+from repro.symbolic import (
+    Assignment,
+    AssignmentCollection,
+    Diff,
+    Divergence,
+    Field,
+    diff,
+    div,
+    random_uniform,
+)
+from repro.symbolic.random import SEED, TIME_STEP
+
+
+class TestTypeInference:
+    def test_defaults_and_integers(self):
+        f, g = Field("tf", 2), Field("tg", 2)
+        amp = sp.Symbol("amp")
+        ac = AssignmentCollection(
+            [Assignment(g.center(), amp * random_uniform(stream=0) + f.center())]
+        )
+        types = infer_types(ac)
+        assert types[f.center()] is DOUBLE
+        assert types[amp] is DOUBLE
+        assert types[TIME_STEP] is INT64
+        assert types[SEED] is INT64
+
+    def test_float_field_dtype(self):
+        f = Field("ff32", 2, dtype="float")
+        g = Field("fg32", 2, dtype="float")
+        ac = AssignmentCollection([Assignment(g.center(), f.center())])
+        types = infer_types(ac)
+        assert types[f.center()].numpy_name == "float32"
+
+    def test_mixed_dimensionality_rejected(self):
+        f2, f3 = Field("mx2", 2), Field("mx3", 3)
+        ac = AssignmentCollection(
+            [Assignment(f2.center(), 1.0), Assignment(f3.center(), 1.0)]
+        )
+        with pytest.raises(ValueError, match="dimensionality"):
+            create_kernel(ac)
+
+
+class TestApproximations:
+    def test_pure_reciprocal(self):
+        f, g = Field("af", 2), Field("ag", 2)
+        ac = AssignmentCollection([Assignment(g.center(), 1 / f.center())])
+        out = insert_approximations(ac, ("division",))
+        assert out.main_assignments[0].rhs.atoms(fast_division)
+
+    def test_rational_constant_division(self):
+        f, g = Field("af2", 2), Field("ag2", 2)
+        ac = AssignmentCollection([Assignment(g.center(), sp.Rational(2, 3) * f.center())])
+        out = insert_approximations(ac, ("division",))
+        (fd,) = out.main_assignments[0].rhs.atoms(fast_division)
+        assert fd.args[1] == 3
+
+    def test_half_power_rewrites(self):
+        f, g = Field("af3", 2), Field("ag3", 2)
+        ac = AssignmentCollection([Assignment(g.center(), f.center() ** sp.Rational(3, 2))])
+        out = insert_approximations(ac, ("sqrt",))
+        assert out.main_assignments[0].rhs.atoms(fast_sqrt)
+
+    def test_unknown_kind_rejected(self):
+        f, g = Field("af4", 2), Field("ag4", 2)
+        ac = AssignmentCollection([Assignment(g.center(), f.center())])
+        with pytest.raises(ValueError, match="unknown approximation"):
+            insert_approximations(ac, ("cbrt",))
+
+    def test_numeric_equivalence(self):
+        """fast nodes evalf to the exact values (they only change backends)."""
+        x = sp.Float(2.25)
+        assert float(fast_sqrt(x)) == pytest.approx(1.5)
+        assert float(fast_rsqrt(sp.Float(4.0))) == pytest.approx(0.5)
+        assert float(fast_division(sp.Float(1.0), sp.Float(8.0))) == pytest.approx(0.125)
+
+
+class TestOperators:
+    def test_divergence_as_diff_sum(self):
+        f = Field("dvf", 2)
+        d = div([f.center(), 2 * f.center()])
+        expanded = d.as_diff_sum()
+        assert expanded == Diff(f.center(), 0) + Diff(2 * f.center(), 1)
+
+    def test_divergence_accepts_matrix(self):
+        from repro.symbolic import grad
+
+        f = Field("dvf2", 2)
+        assert isinstance(div(grad(f.center())), Divergence)
+
+    def test_nested_diff_helper(self):
+        f = Field("dvf3", 3)
+        d = diff(f.center(), 0, 1, 2)
+        assert d.axis == 2 and d.arg.axis == 1 and d.arg.arg.axis == 0
+
+    def test_str_forms(self):
+        f = Field("dvf4", 2)
+        assert "D(" in str(Diff(f.center(), 0))
+        assert "Div(" in str(div([f.center(), f.center()]))
+
+
+class TestCudaRestrictions:
+    def test_z_loop_rejects_flux_kernels(self):
+        from repro.backends.cuda_backend import generate_cuda_source
+        from repro.discretization import (
+            FiniteDifferenceDiscretization,
+            discretize_system,
+        )
+        from repro.symbolic import EvolutionEquation, PDESystem, div as _div, grad
+
+        f = Field("zf", 3)
+        f_dst = Field("zf_dst", 3)
+        eq = EvolutionEquation(f.center(), _div(grad(f.center())))
+        split = discretize_system(
+            PDESystem([eq], name="zheat"),
+            f_dst,
+            FiniteDifferenceDiscretization(dim=3),
+            variant="split",
+        )
+        k = create_kernel(split.flux_kernel)
+        with pytest.raises(ValueError, match="z_loop"):
+            generate_cuda_source(k, mapping="z_loop")
+
+
+class TestGPUModelBounds:
+    def test_occupancy_in_unit_interval(self):
+        from repro.gpu import GPUKernelModel, RegisterEstimate, TESLA_P100
+
+        f, g = Field("gmf", 2), Field("gmg", 2)
+        ac = AssignmentCollection([Assignment(g.center(), f.center() + 1)])
+        k = create_kernel(ac)
+        for regs in (32, 64, 128, 255):
+            est = RegisterEstimate(
+                analysis_registers=regs,
+                allocated_registers=regs,
+                demand_registers=regs,
+                spilled_registers=0,
+                max_live=regs // 2,
+            )
+            m = GPUKernelModel(kernel=k, registers=est)
+            assert 0.0 < m.occupancy <= 1.0
+            assert 0.0 < m.efficiency <= 1.0
+
+    def test_fewer_registers_never_slower(self):
+        from repro.gpu import GPUKernelModel, RegisterEstimate
+
+        f, g = Field("gmf2", 2), Field("gmg2", 2)
+        ac = AssignmentCollection([Assignment(g.center(), f.center() ** 3 + 1)])
+        k = create_kernel(ac)
+
+        def t(regs, spilled=0):
+            est = RegisterEstimate(regs, min(regs, 255), regs, spilled, regs // 2)
+            return GPUKernelModel(kernel=k, registers=est).time_per_lup_ns()
+
+        assert t(64) <= t(128) <= t(255) <= t(400, spilled=145)
+
+
+class TestAssignmentMisc:
+    def test_from_dict(self):
+        f, g = Field("amf", 2), Field("amg", 2)
+        ac = AssignmentCollection.from_dict({g.center(): f.center() + 1})
+        assert len(ac.main_assignments) == 1
+
+    def test_assignment_iteration_and_str(self):
+        f, g = Field("amf2", 2), Field("amg2", 2)
+        a = Assignment(g.center(), f.center())
+        lhs, rhs = a
+        assert lhs == g.center() and rhs == f.center()
+        assert "<-" in str(a)
+
+    def test_lhs_type_checked(self):
+        with pytest.raises(TypeError, match="symbol"):
+            Assignment(sp.Integer(3), sp.Integer(4))
+
+    def test_inline_subexpressions_chained(self):
+        f, g = Field("amf3", 2), Field("amg3", 2)
+        x, y = sp.symbols("amx amy")
+        ac = AssignmentCollection(
+            [Assignment(g.center(), y + 1)],
+            [Assignment(x, f.center() * 2), Assignment(y, x + 3)],
+        )
+        flat = ac.inline_subexpressions()
+        assert flat.subexpressions == []
+        assert sp.expand(flat.main_assignments[0].rhs - (2 * f.center() + 4)) == 0
+
+
+class TestFieldAccessExtras:
+    def test_at_offset_and_with_index(self):
+        phi = Field("fax", 3, (4,))
+        acc = phi.center(1)
+        moved = acc.at_offset((1, 0, 0))
+        assert moved.offsets == (1, 0, 0) and moved.index == (1,)
+        reindexed = acc.with_index(2)
+        assert reindexed.index == (2,)
+
+    def test_offsets_arity_checked(self):
+        phi = Field("fax2", 3)
+        with pytest.raises(ValueError, match="offsets"):
+            phi[1, 0]

@@ -1,0 +1,264 @@
+"""Unit tests for the phase-field model building blocks."""
+
+import numpy as np
+import pytest
+import sympy as sp
+
+from repro.pfm import (
+    CubicAnisotropy,
+    GrandPotentialDrivingForce,
+    ParabolicPhaseData,
+    anisotropic_gradient_energy,
+    anti_trapping_current,
+    constant_temperature,
+    generalized_gradient,
+    gradient_temperature,
+    g_interp,
+    h_interp,
+    h_interp_prime,
+    h_quintic,
+    isotropic_gradient_energy,
+    multi_obstacle_potential,
+    multi_well_potential,
+    rotation_matrix,
+)
+from repro.symbolic import Diff, Field, Transient
+from repro.symbolic.coordinates import t as t_symbol, x_
+
+
+class TestInterpolation:
+    @pytest.mark.parametrize("h", [h_interp, h_quintic])
+    def test_endpoint_values(self, h):
+        x = sp.Symbol("x")
+        assert h(x).subs(x, 0) == 0
+        assert h(x).subs(x, 1) == 1
+
+    @pytest.mark.parametrize("h", [h_interp, h_quintic])
+    def test_zero_gradient_at_endpoints(self, h):
+        x = sp.Symbol("x")
+        dh = sp.diff(h(x), x)
+        assert dh.subs(x, 0) == 0
+        assert dh.subs(x, 1) == 0
+
+    def test_prime_consistent(self):
+        x = sp.Symbol("x")
+        assert sp.expand(sp.diff(h_interp(x), x) - h_interp_prime(x)) == 0
+
+    def test_two_phase_partition_of_unity(self):
+        x = sp.Symbol("x")
+        assert sp.expand(h_interp(x) + h_interp(1 - x) - 1) == 0
+
+    def test_g_is_linear(self):
+        x = sp.Symbol("x")
+        assert g_interp(x) == x
+
+
+class TestPotentials:
+    def setup_method(self):
+        self.phi = Field("phi", 3, (3,))
+
+    def test_obstacle_pairwise_structure(self):
+        gamma = [[0, 1, 2], [1, 0, 3], [2, 3, 0]]
+        w = multi_obstacle_potential(self.phi, gamma)
+        p0, p1, p2 = (self.phi.center(i) for i in range(3))
+        expected = sp.Rational(16) / sp.pi**2 * (
+            1 * p0 * p1 + 2 * p0 * p2 + 3 * p1 * p2
+        )
+        assert sp.expand(w - expected) == 0
+
+    def test_obstacle_triple_term(self):
+        w = multi_obstacle_potential(self.phi, 1.0, gamma_triple=5.0)
+        p0, p1, p2 = (self.phi.center(i) for i in range(3))
+        triple = w.coeff(p0 * p1 * p2)
+        assert triple == 5.0
+
+    def test_obstacle_zero_in_bulk(self):
+        w = multi_obstacle_potential(self.phi, 1.0, gamma_triple=2.0)
+        bulk = {self.phi.center(0): 1, self.phi.center(1): 0, self.phi.center(2): 0}
+        assert w.subs(bulk) == 0
+
+    def test_obstacle_positive_in_interface(self):
+        w = multi_obstacle_potential(self.phi, 1.0)
+        iface = {
+            self.phi.center(0): sp.Rational(1, 2),
+            self.phi.center(1): sp.Rational(1, 2),
+            self.phi.center(2): 0,
+        }
+        assert float(w.subs(iface)) > 0
+
+    def test_multi_well_zero_in_bulk(self):
+        w = multi_well_potential(self.phi, 1.0)
+        bulk = {self.phi.center(0): 1, self.phi.center(1): 0, self.phi.center(2): 0}
+        assert w.subs(bulk) == 0
+
+    def test_scalar_gamma_broadcast(self):
+        w1 = multi_obstacle_potential(self.phi, 2.0)
+        w2 = multi_obstacle_potential(self.phi, [[0, 2, 2], [2, 0, 2], [2, 2, 0]])
+        assert sp.expand(w1 - w2) == 0
+
+
+class TestGradientEnergy:
+    def setup_method(self):
+        self.phi = Field("phi", 3, (2,))
+
+    def test_generalized_gradient_antisymmetric(self):
+        q01 = generalized_gradient(self.phi, 0, 1)
+        q10 = generalized_gradient(self.phi, 1, 0)
+        for a, b in zip(q01, q10):
+            assert sp.expand(a + b) == 0
+
+    def test_isotropic_contains_all_gradients(self):
+        a = isotropic_gradient_energy(self.phi, 1.0)
+        diffs = a.atoms(Diff)
+        axes = {d.axis for d in diffs}
+        assert axes == {0, 1, 2}
+
+    def test_anisotropy_unity_at_zero_delta(self):
+        aniso = CubicAnisotropy(delta=0.0)
+        q = [sp.Symbol("qx"), sp.Symbol("qy"), sp.Symbol("qz")]
+        assert sp.simplify(aniso.value(q, 0, 1) - 1) == 0
+
+    def test_cubic_anisotropy_fourfold_symmetry(self):
+        """A(q) must be invariant under 90° rotations about the axes."""
+        aniso = CubicAnisotropy(delta=0.3)
+        qx, qy, qz = sp.symbols("qx qy qz")
+        val = aniso.value([qx, qy, qz], 0, 1)
+        rotated = val.subs({qx: qy, qy: -qx}, simultaneous=True)
+        assert sp.simplify(val - rotated) == 0
+
+    def test_anisotropy_extremes(self):
+        """A is maximal along <100> and minimal along <111> for δ>0."""
+        aniso = CubicAnisotropy(delta=0.3)
+        along_axis = float(aniso.value([sp.Float(1), sp.Float(0), sp.Float(0)], 0, 1))
+        along_diag = float(
+            aniso.value([sp.Float(1), sp.Float(1), sp.Float(1)], 0, 1)
+        )
+        assert along_axis == pytest.approx(1 + 0.3, rel=1e-6)
+        assert along_diag == pytest.approx(1 + 0.3 * (4 / 3 - 3), rel=1e-6)
+        assert along_axis > along_diag
+
+    def test_rotation_matrix_orthogonal(self):
+        R = rotation_matrix(0.3, 0.2, 0.1)
+        eye = R * R.T
+        assert sp.simplify(eye - sp.eye(3)).norm() < 1e-12
+
+    def test_rotated_anisotropy_differs(self):
+        plain = CubicAnisotropy(delta=0.3)
+        rot = CubicAnisotropy(delta=0.3, rotations={0: rotation_matrix(np.pi / 6)})
+        q = [sp.Float(1), sp.Float(0), sp.Float(0)]
+        assert float(plain.value(q, 0, 1)) != pytest.approx(float(rot.value(q, 0, 1)))
+
+    def test_anisotropic_energy_reduces_to_isotropic(self):
+        a_iso = isotropic_gradient_energy(self.phi, 1.0)
+        a_ani = anisotropic_gradient_energy(self.phi, 1.0, CubicAnisotropy(delta=0.0))
+        diff = sp.simplify(a_ani - a_iso)
+        assert diff == 0
+
+
+class TestDrivingForce:
+    def _phase(self, sign=1.0):
+        return ParabolicPhaseData(
+            a0=[[-0.5, 0.0], [0.0, -0.5]],
+            a1=[[0.0, 0.0], [0.0, 0.0]],
+            b0=[0.1 * sign, -0.2 * sign],
+            b1=[0.0, 0.0],
+            c0=0.0,
+            c1=-0.3 * sign,
+        )
+
+    def test_symmetry_enforced(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            ParabolicPhaseData(
+                a0=[[1.0, 0.5], [0.0, 1.0]],
+                a1=np.zeros((2, 2)),
+                b0=[0, 0],
+                b1=[0, 0],
+                c0=0,
+                c1=0,
+            )
+
+    def test_concentration_is_negative_mu_gradient(self):
+        p = self._phase()
+        mu = sp.Matrix(sp.symbols("m0 m1"))
+        T = sp.Symbol("T")
+        psi = p.psi(mu, T)
+        c = p.concentration(mu, T)
+        for m in range(2):
+            assert sp.expand(c[m] + sp.diff(psi, mu[m])) == 0
+
+    def test_susceptibility_positive_definite(self):
+        p = self._phase()
+        chi = p.susceptibility(sp.Float(1.0))
+        evs = [float(v) for v in chi.eigenvals()]
+        assert all(v > 0 for v in evs)
+
+    def test_parameter_count_formula(self):
+        p = self._phase()
+        # K-1=2: sym A has 3, B has 2, C has 1 -> 6, x2 for affine T
+        assert p.parameter_count() == 12
+
+    def test_total_quantities_interpolate(self):
+        phases = [self._phase(1.0), self._phase(-1.0)]
+        df = GrandPotentialDrivingForce(phases)
+        phi = Field("phi", 3, (2,))
+        mu = Field("mu", 3, (2,))
+        T = sp.Float(1.0)
+        psi = df.psi_total(phi, mu, T)
+        bulk0 = {phi.center(0): 1, phi.center(1): 0}
+        mv = df.mu_vector(mu)
+        expected = phases[0].psi(mv, T)
+        assert sp.expand(psi.subs(bulk0) - expected) == 0
+
+    def test_mu_field_shape_checked(self):
+        df = GrandPotentialDrivingForce([self._phase()])
+        bad_mu = Field("mu", 3, (1,))
+        with pytest.raises(ValueError, match="index shape"):
+            df.mu_vector(bad_mu)
+
+
+class TestTemperature:
+    def test_constant(self):
+        T = constant_temperature(1.5)
+        assert T.is_constant
+        assert T.time_derivative == 0
+        assert float(T.expr) == 1.5
+
+    def test_gradient_field(self):
+        T = gradient_temperature(T0=1.0, G=0.01, v=0.5, axis=2)
+        assert not T.is_constant
+        assert T.axes == {2}
+        assert float(T.time_derivative) == pytest.approx(-0.005)
+        val = T.expr.subs({x_[2]: 10.0, t_symbol: 0.0})
+        assert float(val) == pytest.approx(1.1)
+
+
+class TestAntiTrapping:
+    def test_structure(self):
+        phi = Field("phi", 3, (3,))
+        mu = Field("mu", 3, (1,))
+        phases = [
+            ParabolicPhaseData([[-0.5]], [[0.0]], [0.3], [0.0], 0.0, -0.2),
+            ParabolicPhaseData([[-0.5]], [[0.0]], [-0.3], [0.0], 0.0, -0.2),
+            ParabolicPhaseData([[-0.5]], [[0.0]], [0.0], [0.0], 0.0, 0.0),
+        ]
+        df = GrandPotentialDrivingForce(phases)
+        jat = anti_trapping_current(
+            phi, mu, df, sp.Float(1.0), sp.Float(4.0), liquid_phase=2
+        )
+        assert len(jat) == 1 and len(jat[0]) == 3
+        transients = set()
+        for comp in jat[0]:
+            transients |= comp.atoms(Transient)
+        # one transient per solid phase
+        assert {tr.arg.index[0] for tr in transients} == {0, 1}
+
+    def test_liquid_index_validated(self):
+        phi = Field("phi", 3, (2,))
+        mu = Field("mu", 3, (1,))
+        phases = [
+            ParabolicPhaseData([[-0.5]], [[0.0]], [0.3], [0.0], 0.0, -0.2),
+            ParabolicPhaseData([[-0.5]], [[0.0]], [0.0], [0.0], 0.0, 0.0),
+        ]
+        df = GrandPotentialDrivingForce(phases)
+        with pytest.raises(ValueError, match="liquid"):
+            anti_trapping_current(phi, mu, df, sp.Float(1.0), sp.Float(4.0), liquid_phase=5)

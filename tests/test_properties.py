@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+import sympy as sp
+from hypothesis import given, settings, strategies as st
+
+from repro.gpu.liveness import max_live
+from repro.gpu.scheduling import dfs_schedule, schedule_for_registers
+from repro.parallel.blockforest import BlockForest, morton_key
+from repro.symbolic import Assignment, AssignmentCollection, Diff, Field, FieldAccess
+from repro.discretization import FiniteDifferenceDiscretization
+
+
+# ---------------------------------------------------------------------------
+# discretization exactness on polynomials
+
+
+class TestStencilExactness:
+    """Second-order central stencils are *exact* on quadratic polynomials."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=st.floats(-3, 3),
+        b=st.floats(-3, 3),
+        c=st.floats(-3, 3),
+        h=st.floats(0.05, 2.0),
+    )
+    def test_first_derivative_exact_on_quadratics(self, a, b, c, h):
+        f = Field("poly", 1)
+        disc = FiniteDifferenceDiscretization(dim=1)
+        stencil = disc(Diff(f.center(), 0))
+        x0 = 0.7
+        poly = lambda x: a * x**2 + b * x + c
+        subs = {
+            acc: poly(x0 + float(acc.offsets[0]) * h)
+            for acc in stencil.atoms(FieldAccess)
+        }
+        from repro.symbolic import spacing
+
+        subs[spacing(0)] = h
+        value = float(stencil.xreplace(subs))
+        exact = 2 * a * x0 + b
+        assert value == pytest.approx(exact, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=st.floats(-3, 3),
+        b=st.floats(-3, 3),
+        h=st.floats(0.05, 1.0),
+    )
+    def test_laplacian_exact_on_quadratics(self, a, b, h):
+        from repro.symbolic import div, grad, spacing
+
+        f = Field("poly2", 1)
+        disc = FiniteDifferenceDiscretization(dim=1)
+        stencil = disc(div(grad(f.center())))
+        poly = lambda x: a * x**2 + b * x
+        subs = {
+            acc: poly(float(acc.offsets[0]) * h)
+            for acc in stencil.atoms(FieldAccess)
+        }
+        subs[spacing(0)] = h
+        assert float(stencil.xreplace(subs)) == pytest.approx(2 * a, rel=1e-9, abs=1e-8)
+
+
+# ---------------------------------------------------------------------------
+# projection invariants
+
+
+class TestProjectionProperties:
+    @pytest.fixture(scope="class")
+    def projector(self):
+        from repro.backends import compile_numpy_kernel
+        from repro.ir import create_kernel
+        from repro.pfm import GrandPotentialModel, make_two_phase_binary
+
+        model = GrandPotentialModel(make_two_phase_binary(dim=2))
+        return compile_numpy_kernel(create_kernel(model.projection_collection()))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**16), scale=st.floats(0.1, 3.0))
+    def test_projection_idempotent(self, projector, seed, scale):
+        from repro.backends import create_arrays
+
+        rng = np.random.default_rng(seed)
+        arrays = create_arrays(projector.kernel.fields, (5, 5), 1)
+        arrays["phi_dst"][...] = rng.normal(0.5, scale, arrays["phi_dst"].shape)
+        projector(arrays, ghost_layers=1)
+        once = arrays["phi_dst"].copy()
+        projector(arrays, ghost_layers=1)
+        np.testing.assert_allclose(arrays["phi_dst"], once, atol=1e-15)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_projection_fixes_simplex(self, projector, seed):
+        from repro.backends import create_arrays
+
+        rng = np.random.default_rng(seed)
+        arrays = create_arrays(projector.kernel.fields, (5, 5), 1)
+        arrays["phi_dst"][...] = rng.uniform(-0.5, 1.5, arrays["phi_dst"].shape)
+        projector(arrays, ghost_layers=1)
+        interior = arrays["phi_dst"][1:-1, 1:-1]
+        assert np.all(interior >= 0) and np.all(interior <= 1 + 1e-12)
+        sums = interior.sum(axis=-1)
+        ok = np.isclose(sums, 1.0, atol=1e-9) | np.isclose(sums, 0.0, atol=1e-12)
+        assert ok.all()
+
+
+# ---------------------------------------------------------------------------
+# scheduling validity on random DAGs
+
+
+@st.composite
+def random_dag_program(draw):
+    """Random SSA program: temporaries with random earlier-temp operands."""
+    f = Field("dagf", 2)
+    g = Field("dagg", 2)
+    n = draw(st.integers(2, 14))
+    temps = []
+    subs = []
+    for i in range(n):
+        operands = [f[i % 3 - 1, 0]()]
+        if temps:
+            k = draw(st.integers(0, min(3, len(temps))))
+            idx = draw(
+                st.lists(
+                    st.integers(0, len(temps) - 1), min_size=k, max_size=k, unique=True
+                )
+            )
+            operands += [temps[j] for j in idx]
+        sym = sp.Symbol(f"dag_t{i}")
+        subs.append(Assignment(sym, sp.Add(*operands) + i))
+        temps.append(sym)
+    use = draw(
+        st.lists(st.integers(0, n - 1), min_size=1, max_size=min(4, n), unique=True)
+    )
+    main = [Assignment(g.center(), sp.Add(*[temps[j] for j in use]))]
+    return AssignmentCollection(main, subs).prune_dead_subexpressions()
+
+
+class TestSchedulingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(prog=random_dag_program(), beam=st.sampled_from([1, 2, 4]))
+    def test_schedule_is_valid_permutation(self, prog, beam):
+        order = prog.all_assignments
+        result = schedule_for_registers(order, beam_width=beam)
+        assert sorted(str(a.lhs) for a in result.order) == sorted(
+            str(a.lhs) for a in order
+        )
+        seen = set()
+        temps = {a.lhs for a in order if not a.is_field_store}
+        for a in result.order:
+            for s in a.rhs.free_symbols:
+                if s in temps:
+                    assert s in seen, "dependency violated"
+            seen.add(a.lhs)
+
+    @settings(max_examples=40, deadline=None)
+    @given(prog=random_dag_program())
+    def test_schedule_never_worse_than_input(self, prog):
+        order = prog.all_assignments
+        result = schedule_for_registers(order, beam_width=4)
+        assert result.max_live <= max_live(order)
+
+    @settings(max_examples=30, deadline=None)
+    @given(prog=random_dag_program())
+    def test_dfs_schedule_complete(self, prog):
+        order = prog.all_assignments
+        out = dfs_schedule(order)
+        assert len(out) == len(order)
+
+
+# ---------------------------------------------------------------------------
+# Morton curve / block forest properties
+
+
+class TestMortonProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        coords=st.tuples(st.integers(0, 1023), st.integers(0, 1023), st.integers(0, 1023))
+    )
+    def test_morton_injective_roundtrip(self, coords):
+        key = morton_key(coords)
+        # decode by de-interleaving
+        decoded = [0, 0, 0]
+        for bit in range(21):
+            for d in range(3):
+                decoded[d] |= ((key >> (bit * 3 + d)) & 1) << bit
+        assert tuple(decoded) == coords
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        nb=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+        ranks=st.integers(1, 8),
+    )
+    def test_distribution_partitions_blocks(self, nb, ranks):
+        forest = BlockForest(
+            tuple(4 * b for b in nb), (4, 4), periodic=True
+        )
+        if ranks > forest.n_blocks:
+            with pytest.raises(ValueError):
+                forest.distribute(ranks)
+            return
+        dist = forest.distribute(ranks)
+        blocks = [c for v in dist.values() for c in v]
+        assert sorted(blocks) == sorted(forest.all_block_coords())
+        sizes = [len(v) for v in dist.values()]
+        assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,147 @@
+"""Unit tests for fields and field accesses."""
+
+import pickle
+
+import pytest
+import sympy as sp
+
+from repro.symbolic import Field, FieldAccess, fields
+
+
+class TestFieldConstruction:
+    def test_basic(self):
+        f = Field("f", spatial_dimensions=3)
+        assert f.spatial_dimensions == 3
+        assert f.index_shape == ()
+        assert f.index_dimensions == 0
+
+    def test_index_shape(self):
+        phi = Field("phi", spatial_dimensions=3, index_shape=(4,))
+        assert phi.index_dimensions == 1
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            Field("f", spatial_dimensions=5)
+
+    def test_equality_and_hash(self):
+        a = Field("f", 3, (2,))
+        b = Field("f", 3, (2,))
+        assert a == b and hash(a) == hash(b)
+        assert a != Field("g", 3, (2,))
+
+
+class TestFieldAccess:
+    def test_center(self):
+        f = Field("f", 2)
+        acc = f.center()
+        assert acc.offsets == (0, 0)
+        assert acc.index == ()
+        assert acc.field == f
+
+    def test_getitem_offsets(self):
+        phi = Field("phi", 3, (4,))
+        acc = phi[1, 0, -1](2)
+        assert acc.offsets == (1, 0, -1)
+        assert acc.index == (2,)
+
+    def test_scalar_offset_view_arithmetic(self):
+        f = Field("f", 2)
+        expr = f[1, 0] - f[-1, 0]
+        accs = sorted(expr.atoms(FieldAccess), key=lambda a: a.name)
+        assert len(accs) == 2
+
+    def test_same_access_unifies(self):
+        f = Field("f", 3)
+        assert f[1, 0, 0]() == f.neighbor(0, 1)
+        expr = f[1, 0, 0]() + f.neighbor(0, 1)
+        assert expr == 2 * f[1, 0, 0]()
+
+    def test_distinct_accesses_distinct(self):
+        phi = Field("phi", 3, (4,))
+        assert phi.center(0) != phi.center(1)
+        assert phi.center(0) != phi[1, 0, 0](0)
+
+    def test_index_bounds_checked(self):
+        phi = Field("phi", 3, (4,))
+        with pytest.raises(IndexError):
+            phi.center(4)
+
+    def test_index_arity_checked(self):
+        phi = Field("phi", 3, (4,))
+        with pytest.raises(ValueError):
+            phi.center()
+        with pytest.raises(ValueError):
+            phi.center(0, 0)
+
+    def test_shifted(self):
+        f = Field("f", 3)
+        acc = f.center().shifted(1, 1).shifted(1, 1)
+        assert acc.offsets == (0, 2, 0)
+
+    def test_staggered_position(self):
+        f = Field("f", 3)
+        half = f.center().shifted(0, sp.Rational(1, 2))
+        assert half.is_staggered_position
+        assert not f.center().is_staggered_position
+
+    def test_max_abs_offset(self):
+        f = Field("f", 3)
+        assert f[2, -3, 0]().max_abs_offset == 3
+        assert f.center().max_abs_offset == 0
+
+    def test_usable_in_sympy(self):
+        f = Field("f", 2)
+        e = sp.sqrt(f.center() ** 2 + 1)
+        assert f.center() in e.free_symbols
+        assert e.diff(f.center()) == f.center() / sp.sqrt(f.center() ** 2 + 1)
+
+    def test_pickle_roundtrip(self):
+        phi = Field("phi", 3, (4,))
+        acc = phi[1, 0, 0](2)
+        acc2 = pickle.loads(pickle.dumps(acc))
+        assert acc2 == acc
+        assert acc2.offsets == acc.offsets and acc2.index == acc.index
+
+    def test_accesses_iteration(self):
+        phi = Field("phi", 2, (2, 3))
+        assert len(list(phi.accesses())) == 6
+
+
+class TestFieldsFactory:
+    def test_paper_syntax(self):
+        phi, mu = fields("phi(4), mu(2): double[3D]")
+        assert phi.index_shape == (4,)
+        assert mu.index_shape == (2,)
+        assert phi.spatial_dimensions == 3
+        assert phi.dtype == "double"
+
+    def test_scalar_2d(self):
+        f = fields("f: double[2D]")
+        assert f.spatial_dimensions == 2
+        assert f.index_shape == ()
+
+    def test_default_dtype_and_dim(self):
+        g = fields("g")
+        assert g.dtype == "double" and g.spatial_dimensions == 3
+
+
+class TestFieldNameCollisions:
+    def test_same_name_different_shape_stay_distinct(self):
+        """Two models may both call their phase field "phi" (e.g. P1 with 4
+        phases and P2 with 3); their accesses must never unify through the
+        sympy symbol cache."""
+        phi4 = Field("phi", 3, (4,))
+        phi3 = Field("phi", 3, (3,))
+        a4 = phi4.center(0)
+        a3 = phi3.center(0)
+        assert a4 != a3
+        assert a4.field.index_shape == (4,)
+        assert a3.field.index_shape == (3,)
+        # re-creating the first access must still carry the original field
+        again = phi4.center(0)
+        assert again.field.index_shape == (4,)
+
+    def test_equal_fields_still_unify(self):
+        a = Field("u", 2, (2,)).center(1)
+        b = Field("u", 2, (2,)).center(1)
+        assert a == b and (a + b) == 2 * a
