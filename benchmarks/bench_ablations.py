@@ -9,7 +9,6 @@
 * approximate div/sqrt on the GPU µ kernels (§6.2: 25–35 % speedup).
 """
 
-import pytest
 
 from conftest import emit_table
 

@@ -15,7 +15,6 @@ far below the spill limit, raising occupancy for a ≈ 2× total improvement.
 Also runs the evolutionary tuner (§3.5).
 """
 
-import pytest
 
 from conftest import emit_table
 

@@ -35,11 +35,10 @@ def backend(request):
 
 
 def _compile(kernels, backend):
-    if backend == "numpy":
-        from repro.backends import compile_numpy_kernel as comp
-    else:
-        from repro.backends.c_backend import compile_c_kernel as comp
-    return [comp(k) for k in kernels]
+    # shared process-wide cache: re-parametrized benches reuse earlier builds
+    from repro.profiling import compile_cached
+
+    return [compile_cached(k, backend) for k in kernels]
 
 
 class TestPhiKernelThroughput:

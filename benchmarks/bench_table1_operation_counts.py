@@ -10,7 +10,6 @@ the arithmetic counts match in shape (split ≈ half of full for µ, the P2
 anisotropy blowing up φ, µ as the only kernel with irrational ops).
 """
 
-import pytest
 
 from conftest import emit_table
 
@@ -67,7 +66,7 @@ def test_table1(benchmark, p1_full, p1_split, p2_full, p2_split):
             total = total + oc
         norm = total.normalized_flops()
         ratios[key] = norm
-        loads_str = " + ".join(str(l) for l, _ in ls)
+        loads_str = " + ".join(str(ld) for ld, _ in ls)
         stores_str = " + ".join(str(s) for _, s in ls)
         lines.append(
             f"{setup + ' ' + field + '-' + variant:22s} {loads_str:>12} {stores_str:>10} "

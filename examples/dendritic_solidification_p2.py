@@ -19,7 +19,7 @@ import time
 
 import numpy as np
 
-from repro.analysis import TimeSeriesWriter, phase_fractions, tip_position, track_tips
+from repro.analysis import TimeSeriesWriter, phase_fractions, tip_position
 from repro.backends.c_backend import c_compiler_available
 from repro.pfm import GrandPotentialModel, SingleBlockSolver, add_seed, make_p2
 

@@ -54,7 +54,7 @@ def main():
         solver.set_state_from(init)
         solver.step(steps)
         phi = solver.gather("phi")
-        return phi, solver.bytes_sent
+        return phi, solver.bytes_sent, solver.profiler
 
     results = run_ranks(4, rank_program)
     phi_dist = results[0][0]
@@ -69,6 +69,17 @@ def main():
         raise SystemExit("BUG: decomposition changed the physics!")
     solid = phi_ref[..., 0].mean()
     print(f"  solid fraction after run: {solid:.4f}")
+
+    # --- per-kernel accounting, reduced over all ranks -----------------------
+    from repro.profiling import SolverProfiler, kernel_cache_stats
+
+    combined = SolverProfiler()
+    for _, _, prof in results:
+        combined.merge(prof)
+    print()
+    print(combined.report(f"combined profile over 4 ranks, {steps} steps"))
+    print(f"\n{kernel_cache_stats()} "
+          "(every rank reused the same three compiled kernels)")
 
 
 if __name__ == "__main__":

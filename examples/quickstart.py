@@ -27,10 +27,8 @@ from repro.parallel import fill_ghosts
 from repro.symbolic import (
     EnergyFunctional,
     EvolutionEquation,
-    Field,
     PDESystem,
     fields,
-    functional_derivative,
     gradient_norm,
 )
 

@@ -17,6 +17,7 @@ discretization         :mod:`repro.discretization`
 intermediate repr.     :mod:`repro.ir`, :mod:`repro.simplification`
 backends               :mod:`repro.backends`, :mod:`repro.gpu`
 performance models     :mod:`repro.perfmodel`, :mod:`repro.gpu.model`
+observability          :mod:`repro.profiling`
 distributed memory     :mod:`repro.parallel`
 applications           :mod:`repro.pfm`, :mod:`repro.analysis`
 =====================  ====================================
@@ -24,7 +25,21 @@ applications           :mod:`repro.pfm`, :mod:`repro.analysis`
 
 __version__ = "1.0.0"
 
-from . import analysis, backends, discretization, gpu, ir, lbm, parallel, perfmodel, pfm, rng, simplification, symbolic
+from . import (
+    analysis,
+    backends,
+    discretization,
+    gpu,
+    ir,
+    lbm,
+    parallel,
+    perfmodel,
+    pfm,
+    profiling,
+    rng,
+    simplification,
+    symbolic,
+)
 
 __all__ = [
     "analysis",
@@ -36,6 +51,7 @@ __all__ = [
     "parallel",
     "perfmodel",
     "pfm",
+    "profiling",
     "rng",
     "simplification",
     "symbolic",

@@ -1,7 +1,14 @@
 """In-situ analysis: microstructure metrics, lamellar spectra, dendrite tips, I/O."""
 
 from .dendrite import TipState, overgrown, tip_position, tip_radius, track_tips
-from .io import TimeSeriesWriter, extract_interface_cells, load_snapshot, save_snapshot, write_vtk
+from .io import (
+    TimeSeriesWriter,
+    extract_interface_cells,
+    load_snapshot,
+    save_snapshot,
+    snapshot_path,
+    write_vtk,
+)
 from .lamellar import cross_section, lamellar_spacing, phase_spectrum
 from .metrics import (
     front_position,
@@ -23,6 +30,7 @@ __all__ = [
     "extract_interface_cells",
     "load_snapshot",
     "save_snapshot",
+    "snapshot_path",
     "write_vtk",
     "cross_section",
     "lamellar_spacing",

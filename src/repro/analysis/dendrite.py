@@ -93,7 +93,6 @@ def track_tips(phi: np.ndarray, solid_phases, growth_axis: int = 0) -> list[TipS
     for p in solid_phases:
         solid = phi[..., p] >= 0.5
         pos = tip_position(phi, p, growth_axis)
-        other = tuple(a for a in range(solid.ndim) if a != growth_axis)
         width = float(solid.any(axis=growth_axis).sum()) if solid.any() else 0.0
         states.append(
             TipState(phase=p, position=pos, width=width, area=float(solid.sum()))

@@ -14,6 +14,7 @@ from pathlib import Path
 import numpy as np
 
 __all__ = [
+    "snapshot_path",
     "save_snapshot",
     "load_snapshot",
     "TimeSeriesWriter",
@@ -27,28 +28,44 @@ def write_vtk(
     cell_data: dict[str, np.ndarray],
     spacing: float = 1.0,
     origin: tuple[float, ...] = (0.0, 0.0, 0.0),
+    dim: int | None = None,
 ) -> Path:
     """Write scalar cell fields as a legacy-VTK structured-points file.
 
-    ``cell_data`` maps names to 2D or 3D arrays (all of one shape); vector
-    fields with a trailing component axis are split into per-component
-    scalars.  The output opens directly in ParaView — the standard
-    visualization path for waLBerla results (paper §4.1).
+    ``cell_data`` maps names to arrays with *dim* (2 or 3) spatial axes,
+    all of one spatial shape; arrays with one extra trailing axis are
+    vector fields and are split into per-component scalars ``name_0``,
+    ``name_1``, ….  When ``dim`` is omitted it is the smallest spatial rank
+    that fits every field (so a lone ``(nx, ny, nz)`` array stays a 3D
+    scalar volume; pass ``dim=2`` to write it as a stack of 2D components).
+    The output opens directly in ParaView — the standard visualization path
+    for waLBerla results (paper §4.1).
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
 
+    arrays = {name: np.asarray(arr) for name, arr in cell_data.items()}
+    if not arrays:
+        raise ValueError("no fields given")
+    if dim is None:
+        dim = min(3, min(a.ndim for a in arrays.values()))
+    if dim not in (2, 3):
+        raise ValueError(f"dim must be 2 or 3, got {dim}")
+
     flat: dict[str, np.ndarray] = {}
     shape = None
-    for name, arr in cell_data.items():
-        arr = np.asarray(arr)
-        base = arr.shape[:3] if arr.ndim >= 3 and arr.shape[-1] <= 32 else arr.shape
-        if arr.ndim in (2, 3):
+    for name, arr in arrays.items():
+        if arr.ndim == dim:
             comps = {name: arr}
-        else:
+        elif arr.ndim == dim + 1:
             comps = {
                 f"{name}_{i}": arr[..., i] for i in range(arr.shape[-1])
             }
+        else:
+            raise ValueError(
+                f"field {name} has {arr.ndim} axes; expected {dim} (scalar) "
+                f"or {dim + 1} (vector) for {dim}D output"
+            )
         for cname, carr in comps.items():
             if carr.ndim == 2:
                 carr = carr[..., None]
@@ -59,8 +76,6 @@ def write_vtk(
                     f"field {cname} has shape {carr.shape}, expected {shape}"
                 )
             flat[cname] = carr
-    if shape is None:
-        raise ValueError("no fields given")
 
     nx, ny, nz = shape
     with open(path, "w") as f:
@@ -80,18 +95,30 @@ def write_vtk(
     return path
 
 
-def save_snapshot(path, phi: np.ndarray, mu: np.ndarray, time: float, time_step: int) -> Path:
-    """Write a compressed state snapshot."""
+def snapshot_path(path) -> Path:
+    """The on-disk path of a snapshot: ``.npz`` appended when missing.
+
+    ``np.savez`` silently appends the suffix; applying the same rule on
+    *both* the write and the read side makes
+    ``load_snapshot(p)`` work for every ``p`` accepted by
+    ``save_snapshot(p)``, with or without the extension.
+    """
     path = Path(path)
+    return path if path.name.endswith(".npz") else path.with_name(path.name + ".npz")
+
+
+def save_snapshot(path, phi: np.ndarray, mu: np.ndarray, time: float, time_step: int) -> Path:
+    """Write a compressed state snapshot; returns the actual file path."""
+    path = snapshot_path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(
         path, phi=phi, mu=mu, time=np.float64(time), time_step=np.int64(time_step)
     )
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    return path
 
 
 def load_snapshot(path) -> dict:
-    with np.load(path) as data:
+    with np.load(snapshot_path(path)) as data:
         return {
             "phi": data["phi"],
             "mu": data["mu"],
@@ -118,7 +145,16 @@ class TimeSeriesWriter:
             csv.writer(f).writerow([values[c] for c in self.columns])
 
     def read(self) -> dict[str, np.ndarray]:
-        rows = np.genfromtxt(self.path, delimiter=",", names=True)
+        """Parsed contents as per-column arrays (empty when no rows yet)."""
+        import warnings
+
+        with warnings.catch_warnings():
+            # genfromtxt warns (and on older numpy returns a names-less NaN
+            # scalar) for a header-only file; zero rows is a valid state
+            warnings.simplefilter("ignore")
+            rows = np.genfromtxt(self.path, delimiter=",", names=True)
+        if rows.dtype.names is None or rows.size == 0:
+            return {name: np.empty(0, dtype=np.float64) for name in self.columns}
         if rows.shape == ():  # single data row
             rows = rows.reshape(1)
         return {name: np.asarray(rows[name]) for name in rows.dtype.names}

@@ -30,7 +30,7 @@ from ..ir.kernel import Kernel
 from ..ir.loops import classify_hoist_levels
 from ..symbolic.assignment import Assignment
 from ..symbolic.coordinates import CoordinateSymbol
-from ..symbolic.field import Field, FieldAccess
+from ..symbolic.field import FieldAccess
 from ..symbolic.random import RandomValue
 
 __all__ = ["generate_c_source", "compile_c_kernel", "CompiledCKernel", "c_compiler_available"]

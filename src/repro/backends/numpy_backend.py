@@ -13,19 +13,17 @@ inspection and testing.
 
 from __future__ import annotations
 
-import textwrap
 from dataclasses import dataclass
 
 import numpy as np
 import sympy as sp
 from sympy.printing.numpy import NumPyPrinter
 
-from ..ir.approximations import fast_division, fast_rsqrt, fast_sqrt
 from ..ir.kernel import Kernel
 from ..symbolic.assignment import Assignment, AssignmentCollection
 from ..symbolic.coordinates import CoordinateSymbol
-from ..symbolic.field import Field, FieldAccess
-from ..symbolic.random import RandomValue, SEED, TIME_STEP
+from ..symbolic.field import FieldAccess
+from ..symbolic.random import RandomValue
 from .runtime import RUNTIME_NAMESPACE
 
 __all__ = ["compile_numpy_kernel", "CompiledNumpyKernel", "create_arrays"]
@@ -179,7 +177,6 @@ def generate_numpy_source(kernel: Kernel) -> str:
     """Produce the Python source of the vectorized kernel."""
     ac = kernel.ac
     dim = kernel.dim
-    gl = kernel.ghost_layers
 
     # group main assignments by write region (flux kernels have per-axis regions)
     groups: dict[tuple, list[Assignment]] = {}
@@ -231,7 +228,6 @@ def _emit_region_block(
 ) -> list[str]:
     ac = kernel.ac
     dim = kernel.dim
-    gl = kernel.ghost_layers
     sub = _needed_subexpressions(ac, assignments)
     exprs = [a.rhs for a in sub + assignments]
 

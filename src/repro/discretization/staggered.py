@@ -16,7 +16,7 @@ import sympy as sp
 
 from ..symbolic.assignment import Assignment, AssignmentCollection
 from ..symbolic.field import Field, FieldAccess
-from .finite_differences import FluxCollector, flux_placeholder
+from .finite_differences import FluxCollector
 
 __all__ = ["materialize_fluxes", "SplitKernels"]
 

@@ -12,7 +12,7 @@ beyond width ≈ 20).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 
 import sympy as sp
 

@@ -57,11 +57,24 @@ def exchange_field(
     field_name: str,
     ghost_layers: int,
     wall_mode: str = "neumann",
+    profiler=None,
 ) -> int:
     """Synchronize the ghost layers of *field_name* over all blocks.
 
     Returns the number of bytes sent to remote ranks (for statistics).
+    When a :class:`repro.profiling.SolverProfiler` is given, the whole
+    exchange (pack, transport, unpack, walls) is timed under
+    ``exchange:<field>`` with the remote byte count attached.
     """
+    if profiler is not None:
+        from time import perf_counter
+
+        t0 = perf_counter()
+        sent = exchange_field(
+            blocks, forest, owners, comm, field_name, ghost_layers, wall_mode
+        )
+        profiler.record(f"exchange:{field_name}", perf_counter() - t0, nbytes=sent)
+        return sent
     gl = int(ghost_layers)
     dim = forest.dim
     my_rank = comm.rank if comm is not None else 0

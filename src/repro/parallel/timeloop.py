@@ -20,6 +20,7 @@ import numpy as np
 
 from ..backends.numpy_backend import compile_numpy_kernel
 from ..pfm.model import PhaseFieldKernelSet
+from ..profiling import SolverProfiler, compile_cached
 from .blockforest import Block, BlockForest
 from .ghostlayer import exchange_field
 from .mpi_sim import SimComm
@@ -61,12 +62,18 @@ class DistributedSolver:
                     block.arrays[f.name] = np.zeros(shape, dtype=np.float64)
                 self.blocks[coords] = block
 
-        cache = compiled_cache if compiled_cache is not None else {}
-
-        def compiled(kernel):
-            if kernel.name not in cache:
-                cache[kernel.name] = compile_numpy_kernel(kernel)
-            return cache[kernel.name]
+        # ``compiled_cache`` predates the process-wide kernel cache and keys
+        # on kernel *names* only — kept for callers that need rank-private
+        # compilations; by default the shared structural cache is used, so
+        # every rank/solver built from an equal kernel set compiles once
+        if compiled_cache is not None:
+            def compiled(kernel):
+                if kernel.name not in compiled_cache:
+                    compiled_cache[kernel.name] = compile_numpy_kernel(kernel)
+                return compiled_cache[kernel.name]
+        else:
+            def compiled(kernel):
+                return compile_cached(kernel, "numpy")
 
         self._phi = [compiled(k) for k in kernel_set.phi_kernels]
         self._project = compiled(kernel_set.projection_kernel)
@@ -74,6 +81,11 @@ class DistributedSolver:
         self.time_step = 0
         self.time = 0.0
         self.bytes_sent = 0
+        self.profiler = SolverProfiler()
+        self._cells_per_block = {
+            coords: int(np.prod(block.interior_shape))
+            for coords, block in self.blocks.items()
+        }
 
     # -- initialization -------------------------------------------------------
 
@@ -104,17 +116,20 @@ class DistributedSolver:
             name,
             self.ghost_layers,
             self.wall_mode,
+            profiler=self.profiler,
         )
 
     def _run(self, compiled, block: Block) -> None:
-        compiled(
-            block.arrays,
-            ghost_layers=self.ghost_layers,
-            block_offset=block.cell_offset,
-            t=self.time,
-            time_step=self.time_step,
-            seed=self.seed,
-        )
+        cells = self._cells_per_block.get(tuple(block.coords), 0)
+        with self.profiler.measure(compiled.name, cells=cells):
+            compiled(
+                block.arrays,
+                ghost_layers=self.ghost_layers,
+                block_offset=block.cell_offset,
+                t=self.time,
+                time_step=self.time_step,
+                seed=self.seed,
+            )
 
     def step(self, n_steps: int = 1) -> None:
         for _ in range(n_steps):
@@ -138,6 +153,15 @@ class DistributedSolver:
                 )
             self.time_step += 1
             self.time += self.params.dt
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def profile_report(self) -> str:
+        """Per-kernel timing table for this rank (kernels, exchanges, bytes)."""
+        return self.profiler.report(
+            f"distributed profile: rank {self.rank}, {len(self.blocks)} blocks, "
+            f"{self.time_step} steps"
+        )
 
     # -- gathering -----------------------------------------------------------------
 

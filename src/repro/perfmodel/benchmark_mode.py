@@ -15,11 +15,10 @@ from __future__ import annotations
 
 import subprocess
 from dataclasses import dataclass
-from pathlib import Path
 
 import numpy as np
 
-from ..backends.c_backend import _CACHE_DIR, _build_shared_object, generate_c_source
+from ..backends.c_backend import _CACHE_DIR, generate_c_source
 from ..ir.kernel import Kernel
 
 __all__ = ["MeasuredPerformance", "measure_kernel", "generate_benchmark_source"]

@@ -113,12 +113,10 @@ class ECMModel:
         traffic = traffic or analyze_traffic(kernel, block_shape)
 
         t_cache = 0.0
-        prev_fits = True
         levels = m.cache_levels
         for i, lv in enumerate(levels):
             if i + 1 < len(levels):
-                nxt = levels[i + 1]
-                # traffic between lv and nxt: what misses lv
+                # traffic between lv and the next level: what misses lv
                 bytes_per_lup = traffic.total_bytes(lv.size_bytes)
                 t_cache += bytes_per_lup * _LUPS_PER_UNIT / lv.bandwidth_bytes_per_cycle
         # memory traffic: what misses the last-level cache

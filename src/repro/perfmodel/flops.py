@@ -15,7 +15,7 @@ so that ``normalized = adds + muls + 16·divs + 10·sqrts + 2·rsqrts``
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 import sympy as sp

@@ -16,7 +16,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..ir.kernel import Kernel
-from ..symbolic.field import FieldAccess
 
 __all__ = ["FieldTraffic", "TrafficAnalysis", "analyze_traffic", "blocking_factor"]
 
@@ -72,7 +71,6 @@ def analyze_traffic(kernel: Kernel, block_shape: tuple[int, ...]) -> TrafficAnal
     """
     dim = kernel.dim
     order = kernel.loop_order
-    inner_sizes = [block_shape[order.index(a)] if a in order else 1 for a in range(dim)]
 
     reads = kernel.ac.field_reads
     writes = kernel.ac.field_writes

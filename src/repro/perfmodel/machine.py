@@ -14,7 +14,7 @@ appendix (``lscpu`` output).  The GPU model lives in :mod:`repro.gpu.model`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 
 __all__ = ["MachineModel", "CacheLevel", "SKYLAKE_8174", "HASWELL_2690V3", "MACHINES"]
 

@@ -15,7 +15,38 @@ from .layer_condition import analyze_traffic, blocking_factor
 from .machine import MachineModel, SKYLAKE_8174
 from .roofline import roofline
 
-__all__ = ["performance_report"]
+__all__ = ["performance_report", "format_table", "report_header"]
+
+
+def report_header(title: str, width: int = 72) -> list[str]:
+    """Standard two-line report header (title + rule)."""
+    return [title, "=" * width]
+
+
+def format_table(headers: list[str], rows: list[tuple]) -> list[str]:
+    """Render rows as an aligned text table (first column left, rest right).
+
+    The shared table style of every human-readable report in this package:
+    the per-kernel analyses of :func:`performance_report` and the runtime
+    profiles of :mod:`repro.profiling` use the same formatter.
+    """
+    cells = [[str(h) for h in headers]] + [
+        [c if isinstance(c, str) else f"{c:.3g}" if isinstance(c, float) else str(c)
+         for c in row]
+        for row in rows
+    ]
+    n_cols = max(len(r) for r in cells)
+    widths = [max(len(r[i]) for r in cells if i < len(r)) for i in range(n_cols)]
+    lines = []
+    for k, row in enumerate(cells):
+        padded = [
+            row[i].ljust(widths[i]) if i == 0 else row[i].rjust(widths[i])
+            for i in range(len(row))
+        ]
+        lines.append("  ".join(padded).rstrip())
+        if k == 0:
+            lines.append("-" * len(lines[0]))
+    return lines
 
 
 def performance_report(
@@ -29,8 +60,9 @@ def performance_report(
     lines: list[str] = []
     push = lines.append
 
-    push(f"performance report: kernel '{kernel.name}' on {machine.name}")
-    push("=" * 72)
+    lines.extend(
+        report_header(f"performance report: kernel '{kernel.name}' on {machine.name}")
+    )
 
     oc = kernel.operation_count()
     push("operation counts (per cell, hoisted work amortized):")

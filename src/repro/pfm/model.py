@@ -16,7 +16,7 @@ This module performs the paper's full vertical assembly (Fig. 1):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 
 import numpy as np
 import sympy as sp
@@ -37,7 +37,6 @@ from ..symbolic import (
     PDESystem,
     functional_derivative,
     random_uniform,
-    t as t_symbol,
 )
 from ..symbolic.coordinates import dt as dt_symbol, spacing
 from ..symbolic.operators import Diff, Transient

@@ -18,7 +18,7 @@ comparison/testing.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence
+from typing import Callable
 
 import sympy as sp
 

@@ -17,22 +17,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..backends.numpy_backend import compile_numpy_kernel, create_arrays
+from ..backends.numpy_backend import create_arrays
 from ..parallel.boundary import fill_ghosts
+from ..profiling import SolverProfiler, compile_cached
 from .model import GrandPotentialModel, PhaseFieldKernelSet
 
 __all__ = ["SingleBlockSolver"]
-
-
-def _compiler(backend: str):
-    """Kernel compiler for the requested backend ('numpy' or 'c')."""
-    if backend == "numpy":
-        return compile_numpy_kernel
-    if backend == "c":
-        from ..backends.c_backend import compile_c_kernel
-
-        return compile_c_kernel
-    raise ValueError(f"unknown backend {backend!r}; choose 'numpy' or 'c'")
 
 
 class SingleBlockSolver:
@@ -59,15 +49,18 @@ class SingleBlockSolver:
         self.seed = seed
         self.ghost_layers = max(kernel_set.ghost_layers, 1)
 
-        compile_kernel = _compiler(backend)
+        # compiled once per process via the shared kernel cache: building a
+        # second solver from an equal kernel set reuses every binary
         self.backend = backend
-        self._phi = [compile_kernel(k) for k in kernel_set.phi_kernels]
-        self._project = compile_kernel(kernel_set.projection_kernel)
-        self._mu = [compile_kernel(k) for k in kernel_set.mu_kernels]
+        self._phi = [compile_cached(k, backend) for k in kernel_set.phi_kernels]
+        self._project = compile_cached(kernel_set.projection_kernel, backend)
+        self._mu = [compile_cached(k, backend) for k in kernel_set.mu_kernels]
 
         self.arrays = create_arrays(kernel_set.fields, self.shape, self.ghost_layers)
         self.time_step = 0
         self.time = 0.0
+        self.profiler = SolverProfiler()
+        self._cells_per_sweep = int(np.prod(self.shape))
         self._callbacks: list[tuple[int, object]] = []
 
     # -- state access ---------------------------------------------------------
@@ -101,17 +94,21 @@ class SingleBlockSolver:
     # -- stepping ----------------------------------------------------------------
 
     def _fill(self, name: str) -> None:
-        fill_ghosts(self.arrays[name], self.ghost_layers, self.params.dim, self.boundary)
+        with self.profiler.measure(f"fill:{name}"):
+            fill_ghosts(
+                self.arrays[name], self.ghost_layers, self.params.dim, self.boundary
+            )
 
     def _run(self, compiled, **extra) -> None:
-        compiled(
-            self.arrays,
-            ghost_layers=self.ghost_layers,
-            t=self.time,
-            time_step=self.time_step,
-            seed=self.seed,
-            **extra,
-        )
+        with self.profiler.measure(compiled.name, cells=self._cells_per_sweep):
+            compiled(
+                self.arrays,
+                ghost_layers=self.ghost_layers,
+                t=self.time,
+                time_step=self.time_step,
+                seed=self.seed,
+                **extra,
+            )
 
     def add_callback(self, fn, every: int = 1) -> None:
         """Register an in-situ hook ``fn(solver)`` run every *every* steps.
@@ -124,14 +121,24 @@ class SingleBlockSolver:
             raise ValueError("every must be >= 1")
         self._callbacks.append((int(every), fn))
 
-    def save_checkpoint(self, path) -> None:
-        """Write φ, µ and the time state to a compressed checkpoint."""
+    def save_checkpoint(self, path):
+        """Write φ, µ and the time state to a compressed checkpoint.
+
+        Returns the actual file path (``.npz`` is appended when missing, the
+        same normalization :meth:`load_checkpoint` applies).
+        """
         from ..analysis.io import save_snapshot
 
-        save_snapshot(path, self.phi.copy(), self.mu.copy(), self.time, self.time_step)
+        return save_snapshot(
+            path, self.phi.copy(), self.mu.copy(), self.time, self.time_step
+        )
 
     def load_checkpoint(self, path) -> None:
-        """Restore a checkpoint written by :meth:`save_checkpoint`."""
+        """Restore a checkpoint written by :meth:`save_checkpoint`.
+
+        Accepts the same path that was passed to :meth:`save_checkpoint`,
+        with or without the ``.npz`` suffix.
+        """
         from ..analysis.io import load_snapshot
 
         data = load_snapshot(path)
@@ -164,6 +171,13 @@ class SingleBlockSolver:
                     fn(self)
 
     # -- diagnostics ----------------------------------------------------------
+
+    def profile_report(self) -> str:
+        """Per-kernel timing table (calls, wall time, MLUP/s) for this solver."""
+        return self.profiler.report(
+            f"solver profile: {self.shape} interior, backend={self.backend!r}, "
+            f"{self.time_step} steps"
+        )
 
     def phase_fractions(self) -> np.ndarray:
         """Volume fraction of every phase."""

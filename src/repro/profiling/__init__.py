@@ -1,0 +1,29 @@
+"""Shared kernel cache and runtime profiling (observability subsystem).
+
+Two concerns every solver shares:
+
+* :mod:`repro.profiling.cache` — compile each generated kernel once per
+  process and reuse it across solver instances (keyed on backend plus a
+  structural fingerprint of the kernel IR),
+* :mod:`repro.profiling.profiler` — per-kernel wall-clock accounting
+  (calls, time, MLUP/s, bytes exchanged) rendered as a report table.
+"""
+
+from .cache import (
+    CacheStats,
+    clear_kernel_cache,
+    compile_cached,
+    kernel_cache_stats,
+    kernel_fingerprint,
+)
+from .profiler import SolverProfiler, TimingRecord
+
+__all__ = [
+    "CacheStats",
+    "SolverProfiler",
+    "TimingRecord",
+    "clear_kernel_cache",
+    "compile_cached",
+    "kernel_cache_stats",
+    "kernel_fingerprint",
+]

@@ -1,0 +1,119 @@
+"""Per-kernel runtime profiling (the paper's §5 performance accounting).
+
+The evaluation of the paper reports MLUP/s per generated kernel and the
+communication volume per time step; waLBerla exposes the same numbers to
+Python as per-sweep timers.  :class:`SolverProfiler` is our equivalent: the
+solvers wrap every kernel invocation, ghost exchange and boundary fill in a
+:meth:`SolverProfiler.measure` block, and :meth:`SolverProfiler.report`
+renders the aggregate — calls, total/mean wall time, MLUP/s, bytes moved —
+in the table style of :mod:`repro.perfmodel.report`.
+
+Profiling is always on: one ``perf_counter`` pair per kernel sweep is noise
+next to the sweep itself.  Construct with ``enabled=False`` to make
+``measure`` a true no-op.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from time import perf_counter
+
+from ..perfmodel.report import format_table, report_header
+
+__all__ = ["SolverProfiler", "TimingRecord"]
+
+
+@dataclass
+class TimingRecord:
+    """Aggregate timing of one named operation (kernel, exchange, fill)."""
+
+    name: str
+    calls: int = 0
+    seconds: float = 0.0
+    cells: int = 0
+    bytes: int = 0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.seconds / self.calls if self.calls else 0.0
+
+    @property
+    def mlups(self) -> float:
+        """Million lattice-cell updates per second (0 for non-kernel rows)."""
+        if self.cells == 0 or self.seconds == 0.0:
+            return 0.0
+        return self.cells / self.seconds / 1e6
+
+
+class SolverProfiler:
+    """Collects named wall-clock timings with cell and byte counters."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: dict[str, TimingRecord] = {}
+
+    def record(self, name: str, seconds: float, cells: int = 0, nbytes: int = 0) -> None:
+        rec = self.records.get(name)
+        if rec is None:
+            rec = self.records[name] = TimingRecord(name)
+        rec.calls += 1
+        rec.seconds += seconds
+        rec.cells += cells
+        rec.bytes += nbytes
+
+    @contextmanager
+    def measure(self, name: str, cells: int = 0, nbytes: int = 0):
+        """Time the enclosed block and accumulate it under *name*."""
+        if not self.enabled:
+            yield
+            return
+        t0 = perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, perf_counter() - t0, cells, nbytes)
+
+    # -- aggregation -----------------------------------------------------------
+
+    def merge(self, other: "SolverProfiler") -> None:
+        """Fold another profiler's records into this one (multi-rank reduce)."""
+        for rec in other.records.values():
+            self.record(rec.name, rec.seconds, rec.cells, rec.bytes)
+            self.records[rec.name].calls += rec.calls - 1
+
+    def reset(self) -> None:
+        self.records.clear()
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.records.values())
+
+    # -- reporting -------------------------------------------------------------
+
+    def report(self, title: str = "solver profile") -> str:
+        """Human-readable per-kernel table (calls, time, MLUP/s, MiB moved)."""
+        lines = report_header(title)
+        if not self.records:
+            lines.append("(no timed operations yet)")
+            return "\n".join(lines)
+        rows = []
+        for rec in sorted(self.records.values(), key=lambda r: -r.seconds):
+            rows.append(
+                (
+                    rec.name,
+                    rec.calls,
+                    f"{rec.seconds:.4f}",
+                    f"{rec.mean_seconds * 1e3:.3f}",
+                    f"{rec.mlups:.2f}" if rec.cells else "-",
+                    f"{rec.bytes / 2**20:.2f}" if rec.bytes else "-",
+                )
+            )
+        lines.extend(
+            format_table(
+                ["operation", "calls", "total s", "mean ms", "MLUP/s", "MiB moved"],
+                rows,
+            )
+        )
+        lines.append(f"total timed: {self.total_seconds:.4f} s")
+        return "\n".join(lines)

@@ -10,7 +10,7 @@ the backends consume.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 import sympy as sp

@@ -16,7 +16,6 @@ plus the vector-calculus helpers ``grad``, ``div``, ``gradient_norm``.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import sympy as sp
 

@@ -8,7 +8,6 @@ from repro.parallel import (
     OMNIPATH_FAT_TREE,
     ClusterModel,
     CommOptions,
-    NetworkModel,
     StepTimeModel,
 )
 

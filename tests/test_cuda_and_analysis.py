@@ -21,10 +21,10 @@ from repro.analysis import (
     tip_radius,
     track_tips,
 )
-from repro.backends.cuda_backend import MAPPINGS, generate_cuda_source
+from repro.backends.cuda_backend import generate_cuda_source
 from repro.discretization import FiniteDifferenceDiscretization, discretize_system
 from repro.ir import KernelConfig, create_kernel
-from repro.pfm import interface_profile, lamellar_front, planar_front
+from repro.pfm import lamellar_front, planar_front
 from repro.symbolic import EvolutionEquation, Field, PDESystem, div, grad, random_uniform
 
 
@@ -173,7 +173,7 @@ class TestIO:
     def test_snapshot_roundtrip(self, tmp_path):
         phi = np.random.default_rng(0).random((6, 6, 2))
         mu = np.zeros((6, 6, 1))
-        p = save_snapshot(tmp_path / "state.npz", phi, mu, time=1.5, time_step=300)
+        save_snapshot(tmp_path / "state.npz", phi, mu, time=1.5, time_step=300)
         data = load_snapshot(tmp_path / "state.npz")
         np.testing.assert_array_equal(data["phi"], phi)
         assert data["time"] == 1.5 and data["time_step"] == 300

@@ -9,13 +9,11 @@ import pytest
 import sympy as sp
 
 from repro.symbolic import (
-    Assignment,
     Diff,
     EvolutionEquation,
     Field,
     FieldAccess,
     PDESystem,
-    diff,
     div,
     dt,
     grad,

@@ -4,8 +4,6 @@ import pytest
 import sympy as sp
 
 from repro.gpu import (
-    FencePlan,
-    GPUKernelModel,
     TESLA_P100,
     TransformationSequence,
     analyze_liveness,

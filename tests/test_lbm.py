@@ -15,11 +15,11 @@ from repro.lbm import (
 
 
 class TestLattices:
-    @pytest.mark.parametrize("lat", [D2Q9, D3Q19], ids=lambda l: l.name)
+    @pytest.mark.parametrize("lat", [D2Q9, D3Q19], ids=lambda lat: lat.name)
     def test_moments(self, lat):
         lat.validate()  # weights sum, zero first moment, cs² second moment
 
-    @pytest.mark.parametrize("lat", [D2Q9, D3Q19], ids=lambda l: l.name)
+    @pytest.mark.parametrize("lat", [D2Q9, D3Q19], ids=lambda lat: lat.name)
     def test_opposites(self, lat):
         for i in range(lat.q):
             j = lat.opposite(i)

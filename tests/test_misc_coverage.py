@@ -8,7 +8,6 @@ import sympy as sp
 from repro.ir import (
     DOUBLE,
     INT64,
-    KernelConfig,
     create_kernel,
     fast_division,
     fast_rsqrt,
@@ -141,7 +140,7 @@ class TestCudaRestrictions:
 
 class TestGPUModelBounds:
     def test_occupancy_in_unit_interval(self):
-        from repro.gpu import GPUKernelModel, RegisterEstimate, TESLA_P100
+        from repro.gpu import GPUKernelModel, RegisterEstimate
 
         f, g = Field("gmf", 2), Field("gmg", 2)
         ac = AssignmentCollection([Assignment(g.center(), f.center() + 1)])

@@ -5,7 +5,6 @@ import sympy as sp
 
 from repro.symbolic import (
     Diff,
-    Divergence,
     EnergyFunctional,
     Field,
     Transient,
@@ -15,7 +14,6 @@ from repro.symbolic import (
     functional_derivative,
     grad,
     gradient_norm,
-    transient,
     x_,
 )
 from repro.symbolic.operators import diff_depth

@@ -8,7 +8,6 @@ from repro.pfm import (
     SingleBlockSolver,
     add_seed,
     make_two_phase_binary,
-    normalize_phases,
     planar_front,
 )
 
