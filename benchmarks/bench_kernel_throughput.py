@@ -41,6 +41,22 @@ def _compile(kernels, backend):
     return [compile_cached(k, backend) for k in kernels]
 
 
+def _attach_model_accuracy(benchmark, kernels, n):
+    """Join the ECM prediction with the measured sweep time (Fig. 2 closure)."""
+    from repro.observability import model_accuracy_rows
+    from repro.profiling import SolverProfiler
+
+    profiler = SolverProfiler()
+    for k in kernels:
+        profiler.record(k.name, benchmark.stats["mean"] / len(kernels), cells=n**3)
+    rows = model_accuracy_rows(kernels, profiler, block_shape=(n, n, n))
+    predicted_seconds = sum(n**3 / (r["predicted_mlups"] * 1e6) for r in rows)
+    benchmark.extra_info["predicted MLUP/s"] = round(n**3 / predicted_seconds / 1e6, 3)
+    benchmark.extra_info["model ratio"] = round(
+        predicted_seconds / benchmark.stats["mean"], 4
+    )
+
+
 class TestPhiKernelThroughput:
     def test_phi_full(self, benchmark, p1_full, backend):
         n = 32
@@ -55,6 +71,7 @@ class TestPhiKernelThroughput:
         benchmark(sweep)
         benchmark.extra_info["MLUP/s"] = round(n**3 / benchmark.stats["mean"] / 1e6, 3)
         benchmark.extra_info["backend"] = backend
+        _attach_model_accuracy(benchmark, kernels, n)
 
 
 class TestMuKernelThroughput:
@@ -71,6 +88,7 @@ class TestMuKernelThroughput:
         benchmark(sweep)
         benchmark.extra_info["MLUP/s"] = round(n**3 / benchmark.stats["mean"] / 1e6, 3)
         benchmark.extra_info["backend"] = backend
+        _attach_model_accuracy(benchmark, kernels, n)
 
     def test_mu_split(self, benchmark, p1_split, backend):
         n = 32
@@ -85,6 +103,7 @@ class TestMuKernelThroughput:
         benchmark(sweep)
         benchmark.extra_info["MLUP/s"] = round(n**3 / benchmark.stats["mean"] / 1e6, 3)
         benchmark.extra_info["backend"] = backend
+        _attach_model_accuracy(benchmark, kernels, n)
 
 
 class TestProjectionThroughput:
@@ -99,3 +118,4 @@ class TestProjectionThroughput:
 
         benchmark(sweep)
         benchmark.extra_info["backend"] = backend
+        _attach_model_accuracy(benchmark, kernels, n)

@@ -14,16 +14,36 @@ two-phase mean curvature flow (Allen-Cahn):
 Also prints the generated C code so you can see what the backend emits.
 
 Run:  python examples/quickstart.py
+
+Observability (the paper's production-monitoring story, §4):
+
+    python examples/quickstart.py --trace trace.json --metrics metrics.prom
+
+emits a Chrome-trace of the whole pipeline (load ``trace.json`` in
+``chrome://tracing`` or https://ui.perfetto.dev) and a Prometheus
+text-format metrics snapshot; ``--health`` turns on the NaN/bounds
+watchdog, ``--log-level INFO`` shows the structured pipeline log.
 """
+
+import argparse
 
 import numpy as np
 import sympy as sp
 
-from repro.backends import compile_numpy_kernel, create_arrays
+from repro.backends import create_arrays
 from repro.backends.c_backend import c_compiler_available, compile_c_kernel, generate_c_source
 from repro.discretization import FiniteDifferenceDiscretization, discretize_system
 from repro.ir import KernelConfig, create_kernel
+from repro.observability import (
+    HealthMonitor,
+    configure_logging,
+    enable_tracing,
+    get_registry,
+    get_tracer,
+    model_accuracy_report,
+)
 from repro.parallel import fill_ghosts
+from repro.profiling import SolverProfiler, compile_cached
 from repro.symbolic import (
     EnergyFunctional,
     EvolutionEquation,
@@ -34,14 +54,16 @@ from repro.symbolic import (
 
 
 def build_kernel(dx=1.0, dt=0.05, epsilon=4.0, gamma=1.0):
+    tracer = get_tracer()
     # -- 1. energy functional layer -----------------------------------------
-    phi, phi_dst = fields("phi, phi_dst: double[2D]")
-    c = phi.center()
-    a = gamma * gradient_norm(c, squared=True, dim=2)          # |∇φ|²
-    omega = gamma * 16 / sp.pi**2 * c * (1 - c)                 # double obstacle
-    functional = EnergyFunctional(
-        gradient_energy=a, potential=omega, epsilon=sp.Float(epsilon)
-    )
+    with tracer.span("assemble_energy_functional", category="functional"):
+        phi, phi_dst = fields("phi, phi_dst: double[2D]")
+        c = phi.center()
+        a = gamma * gradient_norm(c, squared=True, dim=2)      # |∇φ|²
+        omega = gamma * 16 / sp.pi**2 * c * (1 - c)             # double obstacle
+        functional = EnergyFunctional(
+            gradient_energy=a, potential=omega, epsilon=sp.Float(epsilon)
+        )
 
     # -- 2. PDE layer ---------------------------------------------------------
     tau = 1.0
@@ -57,13 +79,35 @@ def build_kernel(dx=1.0, dt=0.05, epsilon=4.0, gamma=1.0):
     return kernel
 
 
-def main():
+def parse_args(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--trace", metavar="PATH",
+                    help="write a Chrome-trace JSON of the whole run")
+    ap.add_argument("--metrics", metavar="PATH",
+                    help="write a Prometheus text-format metrics snapshot")
+    ap.add_argument("--health", action="store_true",
+                    help="enable the NaN/bounds health watchdog")
+    ap.add_argument("--log-level", metavar="LEVEL",
+                    help="enable structured logging (DEBUG, INFO, ...)")
+    return ap.parse_args(argv)
+
+
+def main(argv=None):
+    args = parse_args(argv)
+    if args.trace:
+        enable_tracing()
+    if args.log_level:
+        configure_logging(args.log_level)
+    health = HealthMonitor(
+        policy="raise", interval=60, bounds={"phi": (-1e-9, 1 + 1e-9)}
+    ) if args.health else None
+
     kernel = build_kernel()
     print("generated kernel:", kernel)
     oc = kernel.operation_count()
     print(f"per-cell cost: {oc}")
 
-    step = compile_numpy_kernel(kernel)
+    step = compile_cached(kernel, "numpy")
 
     n = 96
     arrays = create_arrays(kernel.fields, (n, n), ghost_layers=1)
@@ -78,19 +122,38 @@ def main():
     def area():
         return arrays["phi"][1:-1, 1:-1].sum()
 
+    profiler = SolverProfiler()
     print("\n   step     area A      dA/dt (should be ~constant < 0)")
-    a_prev, t_prev = area(), 0.0
+    a_prev = area()
     for outer in range(5):
-        for _ in range(60):
-            fill_ghosts(arrays["phi"], 1, 2, mode="neumann")
-            step(arrays)
+        for inner in range(60):
+            with profiler.measure("fill:phi"):
+                fill_ghosts(arrays["phi"], 1, 2, mode="neumann")
+            with profiler.measure(kernel.name, cells=n * n):
+                step(arrays)
             # the *obstacle* part of the potential: clip back to [0, 1]
             np.clip(arrays["phi_dst"], 0.0, 1.0, out=arrays["phi_dst"])
             arrays["phi"], arrays["phi_dst"] = arrays["phi_dst"], arrays["phi"]
+            if health is not None:
+                ts = outer * 60 + inner + 1
+                if health.due(ts):
+                    health.check({"phi": arrays["phi"][1:-1, 1:-1]}, ts)
         a_now = area()
         rate = (a_now - a_prev) / (60 * 0.05)
         print(f"  {60 * (outer + 1):5d}  {a_now:9.1f}    {rate:8.2f}")
         a_prev = a_now
+
+    print()
+    print(model_accuracy_report([kernel], profiler, block_shape=(n, n)))
+    if health is not None:
+        print("\n" + health.summary())
+    if args.metrics:
+        profiler.export_metrics(solver="quickstart")
+        path = get_registry().export_prometheus(args.metrics)
+        print(f"\nmetrics written to {path}")
+    if args.trace:
+        path = get_tracer().export_chrome(args.trace)
+        print(f"trace written to {path} (load in chrome://tracing)")
 
     if c_compiler_available():
         print("\n--- generated C code (first 25 lines of the kernel body) ---")

@@ -393,10 +393,26 @@ class CompiledCKernel:
 
 def compile_c_kernel(kernel: Kernel) -> CompiledCKernel:
     """Generate, compile (with on-disk caching) and wrap a C kernel."""
+    from ..observability.log import get_logger, kv
+    from ..observability.tracing import get_tracer
+
     func_name = f"kernel_{kernel.name}"
-    source = generate_c_source(kernel, func_name)
-    so_path = _build_shared_object(source, func_name)
-    lib = ctypes.CDLL(str(so_path))
-    func = getattr(lib, func_name)
-    func.restype = None
-    return CompiledCKernel(kernel, source, func)
+    with get_tracer().span(f"codegen:c:{kernel.name}", category="backend") as span:
+        source = generate_c_source(kernel, func_name)
+        digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+        so_existed = (_CACHE_DIR / f"{func_name}_{digest}.so").exists()
+        so_path = _build_shared_object(source, func_name)
+        lib = ctypes.CDLL(str(so_path))
+        func = getattr(lib, func_name)
+        func.restype = None
+        if span is not None:
+            span.args["disk_cache"] = "hit" if so_existed else "miss"
+        get_logger("backends.c").info(
+            kv(
+                "c_kernel_ready",
+                kernel=kernel.name,
+                so=so_path.name,
+                disk_cache="hit" if so_existed else "miss",
+            )
+        )
+        return CompiledCKernel(kernel, source, func)

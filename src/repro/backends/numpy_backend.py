@@ -161,16 +161,23 @@ class CompiledNumpyKernel:
 
 def compile_numpy_kernel(kernel: Kernel) -> CompiledNumpyKernel:
     """Generate and compile the NumPy implementation of *kernel*."""
-    src = generate_numpy_source(kernel)
-    import builtins
-    import functools
+    from ..observability.tracing import get_tracer
 
-    namespace = dict(RUNTIME_NAMESPACE)
-    namespace["numpy"] = np
-    namespace["functools"] = functools
-    namespace["builtins"] = builtins
-    exec(compile(src, f"<numpy kernel {kernel.name}>", "exec"), namespace)
-    return CompiledNumpyKernel(kernel, src, namespace["_kernel"])
+    with get_tracer().span(
+        f"codegen:numpy:{kernel.name}", category="backend"
+    ) as span:
+        src = generate_numpy_source(kernel)
+        import builtins
+        import functools
+
+        namespace = dict(RUNTIME_NAMESPACE)
+        namespace["numpy"] = np
+        namespace["functools"] = functools
+        namespace["builtins"] = builtins
+        exec(compile(src, f"<numpy kernel {kernel.name}>", "exec"), namespace)
+        if span is not None:
+            span.args["source_lines"] = src.count("\n")
+        return CompiledNumpyKernel(kernel, src, namespace["_kernel"])
 
 
 def generate_numpy_source(kernel: Kernel) -> str:

@@ -132,34 +132,49 @@ def discretize_system(
         )
     if variant not in ("full", "split"):
         raise ValueError("variant must be 'full' or 'split'")
-    if scheme == "heun":
-        if variant != "full":
-            raise NotImplementedError("Heun integration supports only variant='full'")
-        return _discretize_heun(
-            system, dst_field, discretizer, flux_field_name or f"{system.name}_stage"
+
+    from ..observability.tracing import get_tracer
+
+    with get_tracer().span(
+        f"discretize:{system.name}",
+        category="discretization",
+        variant=variant,
+        scheme=scheme,
+        equations=len(system.equations),
+    ):
+        if scheme == "heun":
+            if variant != "full":
+                raise NotImplementedError(
+                    "Heun integration supports only variant='full'"
+                )
+            return _discretize_heun(
+                system,
+                dst_field,
+                discretizer,
+                flux_field_name or f"{system.name}_stage",
+            )
+        if dst_field.index_shape != system.field.index_shape:
+            raise ValueError(
+                f"destination field {dst_field.name} has index shape "
+                f"{dst_field.index_shape}, expected {system.field.index_shape}"
+            )
+
+        collector = FluxCollector() if variant == "split" else None
+
+        main_assignments: list[Assignment] = []
+        for eq in system.equations:
+            rhs = discretizer(eq.rhs, collector)
+            relax = discretizer(eq.relaxation, collector)
+            update = eq.unknown + dt_symbol * rhs / relax
+            dst_access = FieldAccess(dst_field, eq.unknown.offsets, eq.unknown.index)
+            main_assignments.append(Assignment(dst_access, update))
+
+        ac = AssignmentCollection(main_assignments, name=system.name)
+        if variant == "full":
+            return ac
+        return materialize_fluxes(
+            ac,
+            collector,
+            dim=discretizer.dim,
+            flux_field_name=flux_field_name or f"{system.name}_flux",
         )
-    if dst_field.index_shape != system.field.index_shape:
-        raise ValueError(
-            f"destination field {dst_field.name} has index shape "
-            f"{dst_field.index_shape}, expected {system.field.index_shape}"
-        )
-
-    collector = FluxCollector() if variant == "split" else None
-
-    main_assignments: list[Assignment] = []
-    for eq in system.equations:
-        rhs = discretizer(eq.rhs, collector)
-        relax = discretizer(eq.relaxation, collector)
-        update = eq.unknown + dt_symbol * rhs / relax
-        dst_access = FieldAccess(dst_field, eq.unknown.offsets, eq.unknown.index)
-        main_assignments.append(Assignment(dst_access, update))
-
-    ac = AssignmentCollection(main_assignments, name=system.name)
-    if variant == "full":
-        return ac
-    return materialize_fluxes(
-        ac,
-        collector,
-        dim=discretizer.dim,
-        flux_field_name=flux_field_name or f"{system.name}_flux",
-    )

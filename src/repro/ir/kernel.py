@@ -106,29 +106,40 @@ def create_kernel(
     optionally inserts approximate operations, chooses the loop order and
     classifies hoistable subexpressions.
     """
+    from ..observability.tracing import get_tracer
+
     config = config or KernelConfig()
     dims = {f.spatial_dimensions for f in ac.fields}
     if len(dims) != 1:
         raise ValueError(f"kernel mixes fields of different dimensionality: {dims}")
     (dim,) = dims
 
-    ac = optimize(ac, parameter_values=config.parameter_values, cse=config.cse)
-    ac = extract_invariant_subexpressions(ac)
-    if config.approximations:
-        ac = insert_approximations(ac, config.approximations)
-    ac.validate()
+    with get_tracer().span(
+        f"create_kernel:{name or ac.name}", category="ir", target=config.target
+    ) as span:
+        ac = optimize(ac, parameter_values=config.parameter_values, cse=config.cse)
+        ac = extract_invariant_subexpressions(ac)
+        if config.approximations:
+            ac = insert_approximations(ac, config.approximations)
+        ac.validate()
 
-    loop_order = config.loop_order or choose_loop_order(ac, dim)
-    if sorted(loop_order) != list(range(dim)):
-        raise ValueError(f"loop_order {loop_order} is not a permutation of axes")
+        loop_order = config.loop_order or choose_loop_order(ac, dim)
+        if sorted(loop_order) != list(range(dim)):
+            raise ValueError(f"loop_order {loop_order} is not a permutation of axes")
 
-    return Kernel(
-        name=name or ac.name,
-        ac=ac,
-        dim=dim,
-        ghost_layers=ac.ghost_layers_required(),
-        loop_order=tuple(loop_order),
-        hoist_levels=classify_hoist_levels(ac, tuple(loop_order)),
-        types=infer_types(ac),
-        config=config,
-    )
+        kernel = Kernel(
+            name=name or ac.name,
+            ac=ac,
+            dim=dim,
+            ghost_layers=ac.ghost_layers_required(),
+            loop_order=tuple(loop_order),
+            hoist_levels=classify_hoist_levels(ac, tuple(loop_order)),
+            types=infer_types(ac),
+            config=config,
+        )
+        if span is not None:
+            span.args.update(
+                assignments=len(ac), ghost_layers=kernel.ghost_layers,
+                loop_order=str(kernel.loop_order),
+            )
+        return kernel

@@ -1,0 +1,78 @@
+"""End-to-end observability: tracing, metrics, health, structured logging.
+
+The paper's claim is quantitative — generated kernels run at predicted
+MLUP/s — so the reproduction needs more than a final wall-clock table.
+This subsystem makes every layer observable:
+
+* :mod:`~repro.observability.tracing` — nested spans over the whole
+  pipeline (functional → PDE → discretization → simplification → IR →
+  backend → runtime) exported as Chrome-trace JSON,
+* :mod:`~repro.observability.metrics` — counters/gauges/histograms with
+  JSON and Prometheus text-format export (kernel-cache stats, exchanged
+  bytes, per-kernel MLUP/s, step-latency histograms, health events),
+* :mod:`~repro.observability.health` — NaN/Inf watchdog, phase-sum drift
+  and field-bound alarms with a warn/record/raise policy,
+* :mod:`~repro.observability.log` — structured ``key=value`` logging for
+  the whole ``repro`` namespace,
+* :mod:`~repro.observability.report` — the predicted-vs-measured model
+  accuracy table joining :class:`repro.perfmodel.ecm.ECMModel` predictions
+  with :class:`repro.profiling.SolverProfiler` measurements.
+
+Everything is off by default and zero-cost when disabled; the kernel cache
+and the solvers are pre-wired, so ``enable_tracing()`` plus a run is enough
+to get a ``trace.json``.
+"""
+
+from .health import HealthError, HealthEvent, HealthMonitor
+from .log import configure_logging, get_logger, kv
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    find_sample,
+    get_registry,
+    parse_prometheus,
+    reset_metrics,
+    set_registry,
+)
+from .report import export_accuracy_metrics, model_accuracy_report, model_accuracy_rows
+from .tracing import (
+    PIPELINE_LAYERS,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "HealthError",
+    "HealthEvent",
+    "HealthMonitor",
+    "Histogram",
+    "MetricsRegistry",
+    "PIPELINE_LAYERS",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "disable_tracing",
+    "enable_tracing",
+    "export_accuracy_metrics",
+    "find_sample",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "kv",
+    "model_accuracy_report",
+    "model_accuracy_rows",
+    "parse_prometheus",
+    "reset_metrics",
+    "set_registry",
+    "set_tracer",
+]

@@ -1,0 +1,78 @@
+"""Structured logging for the whole package (``repro.observability.log``).
+
+Every module logs through a child of the ``repro`` logger so one call to
+:func:`configure_logging` controls the verbosity of the entire pipeline —
+from symbolic assembly down to kernel compilation and the runtime loop.
+Messages follow a lightweight ``event key=value`` convention (built with
+:func:`kv`) so they stay grep-able and machine-parseable without pulling in
+a structured-logging dependency.
+
+By default the ``repro`` logger has a :class:`logging.NullHandler` attached:
+library use is silent unless the application opts in, the standard library
+etiquette.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "configure_logging", "kv", "ROOT_LOGGER_NAME"]
+
+ROOT_LOGGER_NAME = "repro"
+
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+#: marker attribute so reconfiguration replaces (not duplicates) our handler
+_HANDLER_TAG = "_repro_observability_handler"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Logger under the ``repro`` namespace (``get_logger("pfm.solver")``).
+
+    Fully qualified ``repro.*`` names (e.g. ``__name__`` of a package
+    module) are used as-is, anything else is prefixed.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def kv(event: str, **fields) -> str:
+    """Render ``event key=value ...`` (values with spaces get quoted)."""
+    parts = [event]
+    for key, value in fields.items():
+        if isinstance(value, float):
+            text = f"{value:.6g}"
+        else:
+            text = str(value)
+        if " " in text or "=" in text:
+            text = '"' + text.replace('"', "'") + '"'
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+def configure_logging(
+    level: int | str = logging.INFO,
+    stream=None,
+    fmt: str = "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger (idempotent).
+
+    Returns the configured root ``repro`` logger.  Calling it again replaces
+    the previous handler, so changing the level or stream is safe.
+    """
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(fmt))
+    setattr(handler, _HANDLER_TAG, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    return root

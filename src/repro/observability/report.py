@@ -1,0 +1,125 @@
+"""Predicted-vs-measured closure: join the ECM model with live timings.
+
+The paper's Fig. 2 argument is that the generated kernels run close to the
+ECM/roofline prediction.  This module produces the reproduction's version
+of that closure: for every kernel that a :class:`repro.profiling.SolverProfiler`
+actually timed, the ECM prediction (on the configured machine model) is
+joined with the measured MLUP/s into a *model-accuracy table* — rendered by
+``solver.profile_report()`` and the throughput benchmark.
+
+A measured/predicted ratio near 1 on the paper's machine validates the
+model; on other hosts the ratio becomes a calibration factor (the machine
+model describes a Skylake socket, not this laptop), which is exactly what
+the column is for.
+
+All perfmodel imports are deferred to call time so that
+``repro.observability`` stays import-cycle-free (the codegen layers it
+instruments are below :mod:`repro.perfmodel` in the import graph).
+"""
+
+from __future__ import annotations
+
+from .metrics import get_registry
+
+__all__ = ["model_accuracy_rows", "model_accuracy_report", "export_accuracy_metrics"]
+
+
+def model_accuracy_rows(
+    kernels,
+    profiler,
+    machine=None,
+    block_shape: tuple[int, ...] | None = None,
+    cores: int = 1,
+) -> list[dict]:
+    """Join ECM predictions with measured rates, one dict per timed kernel.
+
+    Keys: ``kernel``, ``predicted_mlups``, ``measured_mlups``, ``ratio``
+    (measured/predicted), ``bound`` (compute|memory), ``calls``.
+    Kernels without a cell-counted timing record are skipped (fills and
+    exchanges have no LUP rate).
+    """
+    from ..perfmodel.ecm import ECMModel
+    from ..perfmodel.machine import SKYLAKE_8174
+
+    machine = machine or SKYLAKE_8174
+    model = ECMModel(machine)
+    rows: list[dict] = []
+    for kernel in kernels:
+        rec = profiler.records.get(kernel.name)
+        if rec is None or rec.cells == 0 or rec.seconds == 0.0:
+            continue
+        prediction = model.predict(kernel, block_shape or (60,) * kernel.dim)
+        predicted = prediction.mlups(cores)
+        measured = rec.mlups
+        rows.append(
+            {
+                "kernel": kernel.name,
+                "predicted_mlups": predicted,
+                "measured_mlups": measured,
+                "ratio": measured / predicted if predicted else float("nan"),
+                "bound": "compute" if prediction.is_compute_bound else "memory",
+                "calls": rec.calls,
+            }
+        )
+    return rows
+
+
+def model_accuracy_report(
+    kernels,
+    profiler,
+    machine=None,
+    block_shape: tuple[int, ...] | None = None,
+    cores: int = 1,
+    title: str = "model accuracy (predicted vs measured)",
+) -> str:
+    """Human-readable predicted-vs-measured table (Fig.-2-style closure)."""
+    from ..perfmodel.machine import SKYLAKE_8174
+    from ..perfmodel.report import format_table, report_header
+
+    machine = machine or SKYLAKE_8174
+    rows = model_accuracy_rows(
+        kernels, profiler, machine=machine, block_shape=block_shape, cores=cores
+    )
+    lines = report_header(f"{title} — {machine.name}, {cores} core(s)")
+    if not rows:
+        lines.append("(no cell-counted kernel timings yet)")
+        return "\n".join(lines)
+    lines.extend(
+        format_table(
+            ["kernel", "calls", "predicted MLUP/s", "measured MLUP/s",
+             "measured/predicted", "bound"],
+            [
+                (
+                    r["kernel"],
+                    r["calls"],
+                    f"{r['predicted_mlups']:.2f}",
+                    f"{r['measured_mlups']:.2f}",
+                    f"{r['ratio']:.3f}",
+                    r["bound"],
+                )
+                for r in rows
+            ],
+        )
+    )
+    return "\n".join(lines)
+
+
+def export_accuracy_metrics(rows: list[dict], registry=None) -> None:
+    """Publish the joined rows as gauges (per-kernel predicted/measured)."""
+    registry = registry or get_registry()
+    for r in rows:
+        registry.gauge(
+            "repro_kernel_predicted_mlups",
+            "ECM-predicted kernel rate",
+            kernel=r["kernel"],
+        ).set(r["predicted_mlups"])
+        registry.gauge(
+            "repro_kernel_measured_mlups",
+            "measured kernel rate",
+            kernel=r["kernel"],
+        ).set(r["measured_mlups"])
+        registry.gauge(
+            "repro_model_accuracy_ratio",
+            "measured/predicted MLUP/s",
+            kernel=r["kernel"],
+        ).set(r["ratio"])

@@ -1,0 +1,263 @@
+"""Pipeline tracing with Chrome-trace/Perfetto export.
+
+A :class:`Tracer` records nested :class:`Span` objects covering both halves
+of the paper's workflow:
+
+* **codegen** — functional assembly, variational derivatives,
+  discretization, simplification passes (with before/after operation
+  counts), IR construction and backend compilation, and
+* **runtime** — per-step kernel sweeps, projections, ghost exchanges and
+  boundary fills (fed by :meth:`repro.profiling.SolverProfiler.record`, so
+  each timing is measured exactly once).
+
+:meth:`Tracer.export_chrome` writes the standard Chrome trace-event JSON
+(``trace.json``), loadable in ``chrome://tracing`` or https://ui.perfetto.dev;
+span *categories* name the pipeline layer, so the trace viewer can filter
+by layer.
+
+The module-level tracer returned by :func:`get_tracer` is disabled by
+default — a disabled tracer's :meth:`~Tracer.span` yields ``None`` and
+records nothing, keeping the hot path unaffected.  Enable it with
+:func:`enable_tracing` (or install a custom instance with
+:func:`set_tracer`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field as dc_field
+from time import perf_counter
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+]
+
+#: the pipeline layers used as span categories, in stack order
+PIPELINE_LAYERS = (
+    "functional",
+    "pde",
+    "discretization",
+    "simplification",
+    "ir",
+    "backend",
+    "runtime",
+)
+
+
+@dataclass
+class Span:
+    """One timed, possibly nested operation."""
+
+    name: str
+    category: str
+    start: float                      # perf_counter seconds
+    end: float | None = None
+    args: dict = dc_field(default_factory=dict)
+    parent: int | None = None         # index of the enclosing span
+    index: int = -1
+    tid: int = 0
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def __repr__(self):
+        return (
+            f"Span({self.name!r}, cat={self.category!r}, "
+            f"dur={self.duration * 1e3:.3f} ms, parent={self.parent})"
+        )
+
+
+class _ThreadState(threading.local):
+    def __init__(self):
+        self.stack: list[int] = []
+
+
+class Tracer:
+    """Collects spans and exports them in Chrome trace-event format."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._state = _ThreadState()
+        self._tids: dict[int, int] = {}
+        self._epoch = perf_counter()
+
+    # -- recording -------------------------------------------------------------
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            tid = self._tids[ident] = len(self._tids)
+        return tid
+
+    @contextmanager
+    def span(self, name: str, category: str = "", **args):
+        """Open a nested span around the enclosed block.
+
+        Yields the live :class:`Span` (or ``None`` when disabled) so callers
+        can attach result arguments, e.g. operation counts known only after
+        the work ran::
+
+            with tracer.span("pass:cse", category="simplification") as sp:
+                out = run_pass(...)
+                if sp is not None:
+                    sp.args["ops_after"] = count(out)
+        """
+        if not self.enabled:
+            yield None
+            return
+        stack = self._state.stack
+        sp = Span(
+            name=name,
+            category=category,
+            start=perf_counter(),
+            args=dict(args),
+            parent=stack[-1] if stack else None,
+            tid=self._tid(),
+        )
+        with self._lock:
+            sp.index = len(self._spans)
+            self._spans.append(sp)
+        stack.append(sp.index)
+        try:
+            yield sp
+        finally:
+            sp.end = perf_counter()
+            stack.pop()
+
+    def add_event(
+        self,
+        name: str,
+        category: str = "",
+        start: float = 0.0,
+        end: float = 0.0,
+        args: dict | None = None,
+    ) -> Span | None:
+        """Record an already-measured interval (perf_counter seconds).
+
+        Used by :class:`repro.profiling.SolverProfiler` so a kernel sweep is
+        timed once and appears both in the profile table and the trace.  The
+        event is parented to the innermost span currently open on this
+        thread.
+        """
+        if not self.enabled:
+            return None
+        stack = self._state.stack
+        sp = Span(
+            name=name,
+            category=category,
+            start=start,
+            end=end,
+            args=dict(args or {}),
+            parent=stack[-1] if stack else None,
+            tid=self._tid(),
+        )
+        with self._lock:
+            sp.index = len(self._spans)
+            self._spans.append(sp)
+        return sp
+
+    def reset(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._tids.clear()
+        self._state = _ThreadState()
+        self._epoch = perf_counter()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        return list(self._spans)
+
+    def finished_spans(self) -> list[Span]:
+        return [s for s in self._spans if s.end is not None]
+
+    def span_tree(self) -> list[tuple]:
+        """Deterministic ``(name, category, parent_name)`` triples.
+
+        Timing-free view of the span hierarchy — two runs of the same
+        pipeline produce identical trees, which the tests assert.
+        """
+        spans = self._spans
+        out = []
+        for s in spans:
+            parent = spans[s.parent].name if s.parent is not None else None
+            out.append((s.name, s.category, parent))
+        return out
+
+    def layers_seen(self) -> set[str]:
+        return {s.category for s in self._spans if s.category}
+
+    # -- export ----------------------------------------------------------------
+
+    def to_chrome(self) -> dict:
+        """The trace as a Chrome trace-event ``dict`` (JSON object format)."""
+        events = []
+        for s in self.finished_spans():
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": s.category or "default",
+                    "ph": "X",
+                    "ts": round((s.start - self._epoch) * 1e6, 3),
+                    "dur": round(s.duration * 1e6, 3),
+                    "pid": os.getpid(),
+                    "tid": s.tid,
+                    "args": s.args,
+                }
+            )
+        events.sort(key=lambda e: (e["tid"], e["ts"], -e["dur"]))
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.observability"},
+        }
+
+    def export_chrome(self, path) -> str:
+        """Write ``trace.json`` and return the path written."""
+        text = json.dumps(self.to_chrome(), indent=1, default=str)
+        with open(path, "w") as fh:
+            fh.write(text)
+        return str(path)
+
+
+_GLOBAL_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled no-op unless enabled)."""
+    return _GLOBAL_TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install *tracer* as the process-wide tracer; returns the previous one."""
+    global _GLOBAL_TRACER
+    previous = _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer
+    return previous
+
+
+def enable_tracing(reset: bool = True) -> Tracer:
+    """Switch the global tracer on (optionally clearing old spans)."""
+    _GLOBAL_TRACER.enabled = True
+    if reset:
+        _GLOBAL_TRACER.reset()
+    return _GLOBAL_TRACER
+
+
+def disable_tracing() -> Tracer:
+    """Switch the global tracer off (spans already recorded are kept)."""
+    _GLOBAL_TRACER.enabled = False
+    return _GLOBAL_TRACER

@@ -18,7 +18,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from time import perf_counter
+
 from ..backends.numpy_backend import compile_numpy_kernel
+from ..observability.health import HealthMonitor
+from ..observability.log import get_logger, kv
+from ..observability.metrics import get_registry
+from ..observability.tracing import get_tracer
 from ..pfm.model import PhaseFieldKernelSet
 from ..profiling import SolverProfiler, compile_cached
 from .blockforest import Block, BlockForest
@@ -27,9 +33,15 @@ from .mpi_sim import SimComm
 
 __all__ = ["DistributedSolver"]
 
+_log = get_logger("parallel.timeloop")
+
 
 class DistributedSolver:
-    """Runs a phase-field model on the blocks owned by one rank."""
+    """Runs a phase-field model on the blocks owned by one rank.
+
+    Pass a :class:`repro.observability.HealthMonitor` as *health* to check
+    every owned block on the monitor's cadence during :meth:`step`.
+    """
 
     def __init__(
         self,
@@ -39,6 +51,7 @@ class DistributedSolver:
         wall_mode: str = "neumann",
         seed: int = 0,
         compiled_cache: dict | None = None,
+        health: HealthMonitor | None = None,
     ):
         self.kernel_set = kernel_set
         self.model = kernel_set.model
@@ -82,10 +95,30 @@ class DistributedSolver:
         self.time = 0.0
         self.bytes_sent = 0
         self.profiler = SolverProfiler()
+        self.health = health
         self._cells_per_block = {
             coords: int(np.prod(block.interior_shape))
             for coords, block in self.blocks.items()
         }
+        registry = get_registry()
+        self._step_latency = registry.histogram(
+            "repro_step_seconds", "wall time per solver time step",
+            solver="distributed", rank=self.rank,
+        )
+        self._bytes_counter = registry.counter(
+            "repro_exchange_bytes_total", "ghost-layer bytes sent to remote ranks",
+            rank=self.rank,
+        )
+        _log.info(
+            kv(
+                "solver_created",
+                kind="distributed",
+                rank=self.rank,
+                blocks=len(self.blocks),
+                forest=str(forest.global_shape),
+                health=health is not None,
+            )
+        )
 
     # -- initialization -------------------------------------------------------
 
@@ -108,7 +141,7 @@ class DistributedSolver:
     # -- stepping ----------------------------------------------------------------
 
     def _exchange(self, name: str) -> None:
-        self.bytes_sent += exchange_field(
+        sent = exchange_field(
             self.blocks,
             self.forest,
             self.owners,
@@ -118,6 +151,9 @@ class DistributedSolver:
             self.wall_mode,
             profiler=self.profiler,
         )
+        self.bytes_sent += sent
+        if sent:
+            self._bytes_counter.inc(sent)
 
     def _run(self, compiled, block: Block) -> None:
         cells = self._cells_per_block.get(tuple(block.coords), 0)
@@ -132,35 +168,70 @@ class DistributedSolver:
             )
 
     def step(self, n_steps: int = 1) -> None:
+        tracer = get_tracer()
         for _ in range(n_steps):
-            for block in self.blocks.values():
-                for k in self._phi:
-                    self._run(k, block)
-                self._run(self._project, block)
-            self._exchange("phi_dst")
-            for block in self.blocks.values():
-                for k in self._mu:
-                    self._run(k, block)
-            self._exchange("mu_dst")
-            for block in self.blocks.values():
-                block.arrays["phi"], block.arrays["phi_dst"] = (
-                    block.arrays["phi_dst"],
-                    block.arrays["phi"],
-                )
-                block.arrays["mu"], block.arrays["mu_dst"] = (
-                    block.arrays["mu_dst"],
-                    block.arrays["mu"],
-                )
-            self.time_step += 1
-            self.time += self.params.dt
+            t0 = perf_counter()
+            with tracer.span("step", category="runtime", time_step=self.time_step):
+                for block in self.blocks.values():
+                    for k in self._phi:
+                        self._run(k, block)
+                    self._run(self._project, block)
+                self._exchange("phi_dst")
+                for block in self.blocks.values():
+                    for k in self._mu:
+                        self._run(k, block)
+                self._exchange("mu_dst")
+                for block in self.blocks.values():
+                    block.arrays["phi"], block.arrays["phi_dst"] = (
+                        block.arrays["phi_dst"],
+                        block.arrays["phi"],
+                    )
+                    block.arrays["mu"], block.arrays["mu_dst"] = (
+                        block.arrays["mu_dst"],
+                        block.arrays["mu"],
+                    )
+                self.time_step += 1
+                self.time += self.params.dt
+                if self.health is not None and self.health.due(self.time_step):
+                    self._check_health()
+            self._step_latency.observe(perf_counter() - t0)
+
+    def _check_health(self) -> None:
+        gl = self.ghost_layers
+        sl = (slice(gl, -gl),) * self.forest.dim
+        for coords, block in self.blocks.items():
+            self.health.check(
+                {"phi": block.arrays["phi"][sl], "mu": block.arrays["mu"][sl]},
+                self.time_step,
+                phase_sum_of="phi",
+                where=f"rank {self.rank} block {coords}",
+            )
 
     # -- diagnostics ----------------------------------------------------------
 
-    def profile_report(self) -> str:
-        """Per-kernel timing table for this rank (kernels, exchanges, bytes)."""
-        return self.profiler.report(
+    def profile_report(self, machine=None) -> str:
+        """Per-rank timing table plus the predicted-vs-measured closure."""
+        from ..observability.report import model_accuracy_report
+
+        base = self.profiler.report(
             f"distributed profile: rank {self.rank}, {len(self.blocks)} blocks, "
             f"{self.time_step} steps"
+        )
+        accuracy = model_accuracy_report(
+            self.kernel_set.all_kernels,
+            self.profiler,
+            machine=machine,
+            block_shape=self.forest.block_shape,
+        )
+        parts = [base, "", accuracy]
+        if self.health is not None:
+            parts += ["", self.health.summary()]
+        return "\n".join(parts)
+
+    def export_metrics(self, registry=None) -> None:
+        """Publish this rank's profile into the metrics registry."""
+        self.profiler.export_metrics(
+            registry, solver="distributed", rank=self.rank
         )
 
     # -- gathering -----------------------------------------------------------------
@@ -187,9 +258,10 @@ class DistributedSolver:
         out = np.zeros(shape, dtype=np.float64)
         for coords, data in merged.items():
             offset = tuple(c * b for c, b in zip(coords, self.forest.block_shape))
-            sl2 = tuple(
-                slice(o, o + s)
-                for o, s in zip(offset, self.forest.block_shape)
-            )
+            # slice with each piece's actual spatial extent: edge blocks that
+            # are smaller than block_shape assemble without zero-padding the
+            # data or raising a broadcast error
+            spatial = data.shape[: self.forest.dim]
+            sl2 = tuple(slice(o, o + s) for o, s in zip(offset, spatial))
             out[sl2] = data
         return out

@@ -27,6 +27,8 @@ from ..discretization import (
     discretize_system,
 )
 from ..ir import Kernel, KernelConfig, create_kernel
+from ..observability.log import get_logger, kv
+from ..observability.tracing import get_tracer
 from ..symbolic import (
     Assignment,
     AssignmentCollection,
@@ -50,6 +52,7 @@ from .potentials import multi_obstacle_potential
 __all__ = ["GrandPotentialModel", "PhaseFieldKernelSet"]
 
 _TAU_EPS = sp.Float(1e-9)
+_log = get_logger("pfm.model")
 
 
 @dataclass
@@ -107,12 +110,17 @@ class GrandPotentialModel:
         return multi_obstacle_potential(self.phi, p.gamma, p.gamma_triple)
 
     def energy_functional(self) -> EnergyFunctional:
-        return EnergyFunctional(
-            gradient_energy=self.gradient_energy(),
-            potential=self.obstacle_potential(),
-            driving_force=self.driving_force.psi_total(self.phi, self.mu, self.T),
-            epsilon=sp.Float(self.params.epsilon),
-        )
+        with get_tracer().span(
+            "assemble_energy_functional",
+            category="functional",
+            phases=self.params.n_phases,
+        ):
+            return EnergyFunctional(
+                gradient_energy=self.gradient_energy(),
+                potential=self.obstacle_potential(),
+                driving_force=self.driving_force.psi_total(self.phi, self.mu, self.T),
+                epsilon=sp.Float(self.params.epsilon),
+            )
 
     def energy_density(self) -> sp.Expr:
         return self.energy_functional().density
@@ -122,11 +130,16 @@ class GrandPotentialModel:
     def variational_derivatives(self) -> list[sp.Expr]:
         """δΨ/δφ_α for every phase (cached — they are expensive)."""
         if self._dpsi_cache is None:
-            density = self.energy_density()
-            self._dpsi_cache = [
-                functional_derivative(density, self.phi.center(a))
-                for a in range(self.params.n_phases)
-            ]
+            with get_tracer().span(
+                "variational_derivatives",
+                category="pde",
+                phases=self.params.n_phases,
+            ):
+                density = self.energy_density()
+                self._dpsi_cache = [
+                    functional_derivative(density, self.phi.center(a))
+                    for a in range(self.params.n_phases)
+                ]
         return self._dpsi_cache
 
     def tau_interpolated(self) -> sp.Expr:
@@ -149,6 +162,10 @@ class GrandPotentialModel:
 
     def phi_system(self) -> PDESystem:
         """Allen-Cahn equations with Lagrange multiplier and fluctuations."""
+        with get_tracer().span("build_phi_system", category="pde"):
+            return self._phi_system()
+
+    def _phi_system(self) -> PDESystem:
         p = self.params
         n = p.n_phases
         dpsi = self.variational_derivatives()
@@ -181,6 +198,10 @@ class GrandPotentialModel:
 
     def mu_system(self) -> PDESystem:
         """Eq. (8): the non-variational chemical potential evolution."""
+        with get_tracer().span("build_mu_system", category="pde"):
+            return self._mu_system()
+
+    def _mu_system(self) -> PDESystem:
         p = self.params
         k = p.n_mu
         mv = self.driving_force.mu_vector(self.mu)
@@ -310,12 +331,21 @@ class GrandPotentialModel:
                 ]
             return [create_kernel(result, config)]
 
-        phi_kernels = build(self.phi_system(), self.phi_dst, variant_phi, "phi_flux")
-        mu_kernels = build(self.mu_system(), self.mu_dst, variant_mu, "mu_flux")
-        projection = create_kernel(
-            self.projection_collection(), KernelConfig(target=target)
-        )
-        return PhaseFieldKernelSet(
+        with get_tracer().span(
+            "create_kernels",
+            category="pipeline",
+            variant_phi=variant_phi,
+            variant_mu=variant_mu,
+            target=target,
+        ):
+            phi_kernels = build(
+                self.phi_system(), self.phi_dst, variant_phi, "phi_flux"
+            )
+            mu_kernels = build(self.mu_system(), self.mu_dst, variant_mu, "mu_flux")
+            projection = create_kernel(
+                self.projection_collection(), KernelConfig(target=target)
+            )
+        kernel_set = PhaseFieldKernelSet(
             model=self,
             phi_kernels=phi_kernels,
             projection_kernel=projection,
@@ -323,3 +353,14 @@ class GrandPotentialModel:
             variant_phi=variant_phi,
             variant_mu=variant_mu,
         )
+        _log.info(
+            kv(
+                "kernel_set_created",
+                kernels=len(kernel_set.all_kernels),
+                variant_phi=variant_phi,
+                variant_mu=variant_mu,
+                target=target,
+                ghost_layers=kernel_set.ghost_layers,
+            )
+        )
+        return kernel_set

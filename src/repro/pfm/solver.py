@@ -17,16 +17,29 @@ from __future__ import annotations
 
 import numpy as np
 
+from time import perf_counter
+
 from ..backends.numpy_backend import create_arrays
+from ..observability.health import HealthMonitor
+from ..observability.log import get_logger, kv
+from ..observability.metrics import get_registry
+from ..observability.tracing import get_tracer
 from ..parallel.boundary import fill_ghosts
 from ..profiling import SolverProfiler, compile_cached
 from .model import GrandPotentialModel, PhaseFieldKernelSet
 
 __all__ = ["SingleBlockSolver"]
 
+_log = get_logger("pfm.solver")
+
 
 class SingleBlockSolver:
-    """Runs a phase-field model on one rectangular block (NumPy or C kernels)."""
+    """Runs a phase-field model on one rectangular block (NumPy or C kernels).
+
+    Pass a :class:`repro.observability.HealthMonitor` as *health* to run
+    NaN/phase-sum/bounds checks on the monitor's cadence during
+    :meth:`step`; failures follow the monitor's warn/record/raise policy.
+    """
 
     def __init__(
         self,
@@ -35,6 +48,7 @@ class SingleBlockSolver:
         boundary: str | tuple = "periodic",
         seed: int = 0,
         backend: str = "numpy",
+        health: HealthMonitor | None = None,
     ):
         self.kernel_set = kernel_set
         self.model: GrandPotentialModel = kernel_set.model
@@ -60,8 +74,22 @@ class SingleBlockSolver:
         self.time_step = 0
         self.time = 0.0
         self.profiler = SolverProfiler()
+        self.health = health
         self._cells_per_sweep = int(np.prod(self.shape))
         self._callbacks: list[tuple[int, object]] = []
+        self._step_latency = get_registry().histogram(
+            "repro_step_seconds", "wall time per solver time step", solver="single"
+        )
+        _log.info(
+            kv(
+                "solver_created",
+                kind="single",
+                shape=self.shape,
+                backend=backend,
+                boundary=boundary,
+                health=health is not None,
+            )
+        )
 
     # -- state access ---------------------------------------------------------
 
@@ -129,9 +157,11 @@ class SingleBlockSolver:
         """
         from ..analysis.io import save_snapshot
 
-        return save_snapshot(
+        written = save_snapshot(
             path, self.phi.copy(), self.mu.copy(), self.time, self.time_step
         )
+        _log.info(kv("checkpoint_saved", path=written, step=self.time_step))
+        return written
 
     def load_checkpoint(self, path) -> None:
         """Restore a checkpoint written by :meth:`save_checkpoint`.
@@ -145,39 +175,72 @@ class SingleBlockSolver:
         self.set_state(data["phi"], data["mu"])
         self.time = data["time"]
         self.time_step = data["time_step"]
+        _log.info(kv("checkpoint_loaded", path=path, step=self.time_step))
 
     def step(self, n_steps: int = 1) -> None:
         """Advance the solution by *n_steps* explicit Euler steps."""
+        tracer = get_tracer()
         for _ in range(n_steps):
-            for k in self._phi:
-                self._run(k)
-            self._run(self._project)
-            self._fill("phi_dst")
-            for k in self._mu:
-                self._run(k)
-            self._fill("mu_dst")
-            self.arrays["phi"], self.arrays["phi_dst"] = (
-                self.arrays["phi_dst"],
-                self.arrays["phi"],
-            )
-            self.arrays["mu"], self.arrays["mu_dst"] = (
-                self.arrays["mu_dst"],
-                self.arrays["mu"],
-            )
-            self.time_step += 1
-            self.time += self.params.dt
-            for every, fn in self._callbacks:
-                if self.time_step % every == 0:
-                    fn(self)
+            t0 = perf_counter()
+            with tracer.span("step", category="runtime", time_step=self.time_step):
+                for k in self._phi:
+                    self._run(k)
+                self._run(self._project)
+                self._fill("phi_dst")
+                for k in self._mu:
+                    self._run(k)
+                self._fill("mu_dst")
+                self.arrays["phi"], self.arrays["phi_dst"] = (
+                    self.arrays["phi_dst"],
+                    self.arrays["phi"],
+                )
+                self.arrays["mu"], self.arrays["mu_dst"] = (
+                    self.arrays["mu_dst"],
+                    self.arrays["mu"],
+                )
+                self.time_step += 1
+                self.time += self.params.dt
+                if self.health is not None and self.health.due(self.time_step):
+                    self.health.check(
+                        {"phi": self.phi, "mu": self.mu},
+                        self.time_step,
+                        phase_sum_of="phi",
+                    )
+                for every, fn in self._callbacks:
+                    if self.time_step % every == 0:
+                        fn(self)
+            self._step_latency.observe(perf_counter() - t0)
 
     # -- diagnostics ----------------------------------------------------------
 
-    def profile_report(self) -> str:
-        """Per-kernel timing table (calls, wall time, MLUP/s) for this solver."""
-        return self.profiler.report(
+    def profile_report(self, machine=None) -> str:
+        """Per-kernel timing table plus the predicted-vs-measured closure.
+
+        The second section joins the ECM prediction for every generated
+        kernel (on *machine*, default Skylake 8174) with the measured
+        MLUP/s of this run — the reproduction's Fig.-2-style model-accuracy
+        check.
+        """
+        from ..observability.report import model_accuracy_report
+
+        base = self.profiler.report(
             f"solver profile: {self.shape} interior, backend={self.backend!r}, "
             f"{self.time_step} steps"
         )
+        accuracy = model_accuracy_report(
+            self.kernel_set.all_kernels,
+            self.profiler,
+            machine=machine,
+            block_shape=self.shape,
+        )
+        parts = [base, "", accuracy]
+        if self.health is not None:
+            parts += ["", self.health.summary()]
+        return "\n".join(parts)
+
+    def export_metrics(self, registry=None) -> None:
+        """Publish this solver's profile into the metrics registry."""
+        self.profiler.export_metrics(registry, solver="single")
 
     def phase_fractions(self) -> np.ndarray:
         """Volume fraction of every phase."""

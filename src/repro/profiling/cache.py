@@ -18,10 +18,16 @@ from __future__ import annotations
 import hashlib
 import threading
 from dataclasses import dataclass
+from time import perf_counter
 
 import sympy as sp
 
 from ..ir.kernel import Kernel
+from ..observability.log import get_logger, kv
+from ..observability.metrics import get_registry
+from ..observability.tracing import get_tracer
+
+_log = get_logger("profiling.cache")
 
 __all__ = [
     "kernel_fingerprint",
@@ -109,18 +115,47 @@ def _compile(kernel: Kernel, backend: str):
 def compile_cached(kernel: Kernel, backend: str = "numpy"):
     """Compile *kernel* for *backend*, reusing any structurally equal build."""
     global _HITS, _MISSES
-    key = (backend, kernel_fingerprint(kernel))
-    with _LOCK:
-        compiled = _CACHE.get(key)
-        if compiled is not None:
-            _HITS += 1
-            return compiled
-    # compile outside the lock: codegen is slow and reentrant-safe
-    compiled = _compile(kernel, backend)
-    with _LOCK:
-        winner = _CACHE.setdefault(key, compiled)
-        _MISSES += 1
-    return winner
+    registry = get_registry()
+    with get_tracer().span(
+        f"compile:{kernel.name}", category="backend", backend=backend
+    ) as span:
+        key = (backend, kernel_fingerprint(kernel))
+        with _LOCK:
+            compiled = _CACHE.get(key)
+            if compiled is not None:
+                _HITS += 1
+                registry.counter(
+                    "repro_kernel_cache_hits_total", "kernel cache hits"
+                ).inc()
+                if span is not None:
+                    span.args["cache"] = "hit"
+                _log.debug(kv("cache_hit", kernel=kernel.name, backend=backend))
+                return compiled
+        # compile outside the lock: codegen is slow and reentrant-safe
+        t0 = perf_counter()
+        compiled = _compile(kernel, backend)
+        with _LOCK:
+            winner = _CACHE.setdefault(key, compiled)
+            _MISSES += 1
+            size = len(_CACHE)
+        registry.counter(
+            "repro_kernel_cache_misses_total", "kernel cache misses (compiles)"
+        ).inc()
+        registry.gauge(
+            "repro_kernel_cache_size", "compiled kernels held by the cache"
+        ).set(size)
+        if span is not None:
+            span.args["cache"] = "miss"
+        _log.info(
+            kv(
+                "kernel_compiled",
+                kernel=kernel.name,
+                backend=backend,
+                seconds=perf_counter() - t0,
+                cache_size=size,
+            )
+        )
+        return winner
 
 
 def kernel_cache_stats() -> CacheStats:

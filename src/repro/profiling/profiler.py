@@ -11,6 +11,12 @@ in the table style of :mod:`repro.perfmodel.report`.
 Profiling is always on: one ``perf_counter`` pair per kernel sweep is noise
 next to the sweep itself.  Construct with ``enabled=False`` to make
 ``measure`` a true no-op.
+
+Every accepted timing is also forwarded to the global
+:class:`repro.observability.tracing.Tracer` (when enabled) as a ``runtime``
+span — the profiler is the single span source for the runtime loop, so a
+kernel sweep is measured exactly once and appears in both the profile table
+and the Chrome trace.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from time import perf_counter
 
+from ..observability.tracing import get_tracer
 from ..perfmodel.report import format_table, report_header
 
 __all__ = ["SolverProfiler", "TimingRecord"]
@@ -53,7 +60,20 @@ class SolverProfiler:
         self.enabled = enabled
         self.records: dict[str, TimingRecord] = {}
 
-    def record(self, name: str, seconds: float, cells: int = 0, nbytes: int = 0) -> None:
+    def record(
+        self,
+        name: str,
+        seconds: float,
+        cells: int = 0,
+        nbytes: int = 0,
+        end: float | None = None,
+    ) -> None:
+        """Accumulate one timed interval under *name*.
+
+        *end* is the ``perf_counter`` value at which the interval finished;
+        when given and the global tracer is enabled, the interval is also
+        emitted as a ``runtime`` trace span (one measurement, two sinks).
+        """
         rec = self.records.get(name)
         if rec is None:
             rec = self.records[name] = TimingRecord(name)
@@ -61,6 +81,16 @@ class SolverProfiler:
         rec.seconds += seconds
         rec.cells += cells
         rec.bytes += nbytes
+        tracer = get_tracer()
+        if tracer.enabled and end is not None:
+            args = {}
+            if cells:
+                args["cells"] = cells
+            if nbytes:
+                args["bytes"] = nbytes
+            tracer.add_event(
+                name, category="runtime", start=end - seconds, end=end, args=args
+            )
 
     @contextmanager
     def measure(self, name: str, cells: int = 0, nbytes: int = 0):
@@ -72,15 +102,28 @@ class SolverProfiler:
         try:
             yield
         finally:
-            self.record(name, perf_counter() - t0, cells, nbytes)
+            t1 = perf_counter()
+            self.record(name, t1 - t0, cells, nbytes, end=t1)
 
     # -- aggregation -----------------------------------------------------------
 
     def merge(self, other: "SolverProfiler") -> None:
-        """Fold another profiler's records into this one (multi-rank reduce)."""
-        for rec in other.records.values():
-            self.record(rec.name, rec.seconds, rec.cells, rec.bytes)
-            self.records[rec.name].calls += rec.calls - 1
+        """Fold another profiler's records into this one (multi-rank reduce).
+
+        Field-wise accumulation; merging a profiler into itself is a no-op
+        (the snapshot plus the identity check keep ``merge(self)`` from
+        corrupting the records it iterates).
+        """
+        for rec in list(other.records.values()):
+            mine = self.records.get(rec.name)
+            if mine is None:
+                mine = self.records[rec.name] = TimingRecord(rec.name)
+            if mine is rec:
+                continue
+            mine.calls += rec.calls
+            mine.seconds += rec.seconds
+            mine.cells += rec.cells
+            mine.bytes += rec.bytes
 
     def reset(self) -> None:
         self.records.clear()
@@ -88,6 +131,40 @@ class SolverProfiler:
     @property
     def total_seconds(self) -> float:
         return sum(r.seconds for r in self.records.values())
+
+    # -- metrics export --------------------------------------------------------
+
+    def export_metrics(self, registry=None, **labels) -> None:
+        """Publish every record into a :class:`MetricsRegistry`.
+
+        Per operation: ``repro_op_calls_total``, ``repro_op_seconds_total``,
+        ``repro_op_bytes_total`` counters-as-gauges plus a
+        ``repro_kernel_mlups`` gauge for cell-counted records.  Extra
+        *labels* (e.g. ``solver="distributed"``, ``rank=0``) are attached to
+        every sample.
+        """
+        from ..observability.metrics import get_registry
+
+        registry = registry or get_registry()
+        for rec in self.records.values():
+            registry.gauge(
+                "repro_op_calls_total", "profiled operation invocations",
+                op=rec.name, **labels,
+            ).set(rec.calls)
+            registry.gauge(
+                "repro_op_seconds_total", "profiled operation wall time",
+                op=rec.name, **labels,
+            ).set(rec.seconds)
+            if rec.bytes:
+                registry.gauge(
+                    "repro_op_bytes_total", "bytes moved by operation",
+                    op=rec.name, **labels,
+                ).set(rec.bytes)
+            if rec.cells:
+                registry.gauge(
+                    "repro_kernel_mlups", "measured kernel rate",
+                    kernel=rec.name, **labels,
+                ).set(rec.mlups)
 
     # -- reporting -------------------------------------------------------------
 

@@ -28,6 +28,7 @@ __all__ = [
     "global_cse",
     "optimize",
     "count_nodes",
+    "total_nodes",
 ]
 
 
@@ -109,6 +110,27 @@ def global_cse(ac: AssignmentCollection, symbol_prefix: str = "xi") -> Assignmen
     return result
 
 
+def total_nodes(ac: AssignmentCollection) -> int:
+    """Node count over all assignments (the pass-level progress metric)."""
+    return sum(count_nodes(a.rhs) for a in ac.all_assignments)
+
+
+def _traced_pass(tracer, name: str, fn, ac: AssignmentCollection):
+    """Run one pass inside a ``simplification`` span with op counts.
+
+    Before/after node counts are only computed when tracing is enabled —
+    counting a large SSA program is not free.
+    """
+    with tracer.span(f"pass:{name}", category="simplification") as span:
+        if span is not None:
+            span.args["ops_before"] = total_nodes(ac)
+        out = fn(ac)
+        if span is not None:
+            span.args["ops_after"] = total_nodes(out)
+            span.args["assignments"] = len(out.all_assignments)
+    return out
+
+
 def optimize(
     ac: AssignmentCollection,
     parameter_values: Mapping | None = None,
@@ -116,9 +138,19 @@ def optimize(
     aggressive: bool = False,
 ) -> AssignmentCollection:
     """The standard pipeline: fold constants → simplify terms → global CSE."""
-    if parameter_values:
-        ac = substitute_parameters(ac, parameter_values)
-    ac = simplify_terms(ac, aggressive=aggressive)
-    if cse:
-        ac = global_cse(ac)
+    from ..observability.tracing import get_tracer
+
+    tracer = get_tracer()
+    with tracer.span(f"optimize:{ac.name}", category="simplification"):
+        if parameter_values:
+            ac = _traced_pass(
+                tracer, "substitute_parameters",
+                lambda a: substitute_parameters(a, parameter_values), ac,
+            )
+        ac = _traced_pass(
+            tracer, "simplify_terms",
+            lambda a: simplify_terms(a, aggressive=aggressive), ac,
+        )
+        if cse:
+            ac = _traced_pass(tracer, "global_cse", global_cse, ac)
     return ac

@@ -54,6 +54,15 @@ def functional_derivative(energy_density: sp.Expr, access: FieldAccess) -> sp.Ex
     returned with an outer unevaluated ``Diff`` so that the discretizer can
     apply the staggered divergence-of-fluxes scheme.
     """
+    from ..observability.tracing import get_tracer
+
+    with get_tracer().span(
+        f"variational_derivative:{access.name}", category="pde"
+    ):
+        return _functional_derivative(energy_density, access)
+
+
+def _functional_derivative(energy_density: sp.Expr, access: FieldAccess) -> sp.Expr:
     energy_density = sp.sympify(energy_density)
     dim = access.field.spatial_dimensions
 

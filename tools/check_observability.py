@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts emitted by an instrumented run.
+
+Usage::
+
+    python tools/check_observability.py trace.json metrics.prom
+
+Checks that
+
+* ``trace.json`` is valid Chrome-trace JSON with a non-empty
+  ``traceEvents`` list, every event carries the required keys, and the
+  span categories cover the paper's five pipeline layers (functional,
+  pde, discretization, simplification, ir, backend is folded into the
+  generation layer) plus the runtime loop;
+* ``metrics.prom`` parses as Prometheus text format 0.0.4 and contains
+  the core kernel/cache/throughput families.
+
+Exits non-zero with a message on the first violation, so it can gate CI.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.observability import parse_prometheus  # noqa: E402
+
+REQUIRED_CATEGORIES = {
+    "functional",
+    "pde",
+    "discretization",
+    "simplification",
+    "ir",
+    "backend",
+    "runtime",
+}
+REQUIRED_EVENT_KEYS = {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+REQUIRED_FAMILIES = {
+    "repro_kernel_cache_misses_total",
+    "repro_kernel_mlups",
+    "repro_op_calls_total",
+    "repro_op_seconds_total",
+}
+
+
+def fail(msg: str) -> None:
+    print(f"check_observability: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path: Path) -> None:
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: not readable as JSON ({exc})")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    for i, ev in enumerate(events):
+        missing = REQUIRED_EVENT_KEYS - set(ev)
+        if missing:
+            fail(f"{path}: event {i} missing keys {sorted(missing)}")
+        if ev["ph"] != "X":
+            fail(f"{path}: event {i} has phase {ev['ph']!r}, expected 'X'")
+        if ev["dur"] < 0 or ev["ts"] < 0:
+            fail(f"{path}: event {i} has negative ts/dur")
+    seen = {ev["cat"] for ev in events}
+    missing = REQUIRED_CATEGORIES - seen
+    if missing:
+        fail(f"{path}: span categories missing: {sorted(missing)} (saw {sorted(seen)})")
+    print(f"check_observability: {path}: {len(events)} events, categories {sorted(seen)}")
+
+
+def check_metrics(path: Path) -> None:
+    try:
+        parsed = parse_prometheus(path.read_text())
+    except (OSError, ValueError) as exc:
+        fail(f"{path}: does not parse as Prometheus text format ({exc})")
+    if not parsed:
+        fail(f"{path}: no metric families found")
+    missing = REQUIRED_FAMILIES - set(parsed)
+    if missing:
+        fail(f"{path}: metric families missing: {sorted(missing)}")
+    n_samples = sum(len(f["samples"]) for f in parsed.values())
+    print(f"check_observability: {path}: {len(parsed)} families, {n_samples} samples")
+
+
+def main(argv: list[str]) -> None:
+    if len(argv) != 2:
+        print(__doc__)
+        sys.exit(2)
+    check_trace(Path(argv[0]))
+    check_metrics(Path(argv[1]))
+    print("check_observability: OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])
