@@ -32,7 +32,7 @@ def ecm():
     return ECMModel(SKYLAKE_8174)
 
 
-def test_fig2_left_mu_variants(benchmark, ecm, p1_full, p1_split):
+def test_fig2_left_mu_variants(benchmark, ecm, p1_full, p1_split, bench_json):
     p_full = [ecm.predict(k, (60, 60, 60)) for k in p1_full.mu_kernels]
     p_split = [ecm.predict(k, (60, 60, 60)) for k in p1_split.mu_kernels]
 
@@ -54,6 +54,13 @@ def test_fig2_left_mu_variants(benchmark, ecm, p1_full, p1_split):
     lines.append("")
     lines.append(f"  ECM crossover (µ-full overtakes µ-split): {crossover} cores   (paper: 16)")
     emit_table("fig2_left_mu_scaling", lines)
+    bench_json(
+        "kernels", "fig2_left_mu_variants",
+        params={"block": "60x60x60", "socket_cores": 24},
+        mu_full_mlups_per_core_24=series[24][0],
+        mu_split_mlups_per_core_24=series[24][1],
+        crossover_cores=float(crossover),
+    )
 
     # paper shapes: split faster at 1 core, declining; full flat; crossover in-socket
     assert series[1][1] > series[1][0]
@@ -95,7 +102,7 @@ def test_fig2_middle_phi_variants(benchmark, ecm, p1_full, p1_split, p2_full, p2
     benchmark(lambda: [ecm.predict(k, (60, 60, 60)) for k in p2_full.phi_kernels])
 
 
-def test_fig2_measured_single_core(benchmark, p1_full, p1_split):
+def test_fig2_measured_single_core(benchmark, p1_full, p1_split, bench_json):
     """Measured C-kernel rates on this machine (the 'Bench' curves)."""
     from repro.backends.c_backend import c_compiler_available, compile_c_kernel
     from repro.backends.numpy_backend import create_arrays
@@ -141,6 +148,12 @@ def test_fig2_measured_single_core(benchmark, p1_full, p1_split):
         "split must not be slower single-core)",
     ]
     emit_table("fig2_measured_single_core", lines)
+    bench_json(
+        "kernels", "fig2_measured_single_core",
+        params={"block": f"{n}x{n}x{n}", "backend": "c"},
+        mu_full_mlups=results["mu-full"],
+        mu_split_mlups=results["mu-split"],
+    )
     assert results["mu-split"] > 0.85 * results["mu-full"]
 
     mu_full_kernels = [compile_c_kernel(k) for k in p1_full.mu_kernels]

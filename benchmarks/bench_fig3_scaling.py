@@ -31,7 +31,7 @@ def _cpu_core_rate(p1_full, p1_split):
     return 1.0 / sum(1.0 / p.mlups(n) for p in preds) / n
 
 
-def test_fig3_left_weak_scaling_cpu(benchmark, p1_full, p1_split):
+def test_fig3_left_weak_scaling_cpu(benchmark, p1_full, p1_split, bench_json):
     from repro.parallel import ClusterModel, CommOptions, OMNIPATH_FAT_TREE
 
     generated_rate = _cpu_core_rate(p1_full, p1_split)
@@ -70,6 +70,13 @@ def test_fig3_left_weak_scaling_cpu(benchmark, p1_full, p1_split):
     lines.append(f"generated / manual at scale: {ratio:.2f}x   (paper: ≈ 1.2x)")
     lines.append(f"paper: ≈ 6 MLUP/s per core sustained, near-perfect weak scaling")
     emit_table("fig3_left_weak_scaling_cpu", lines)
+    bench_json(
+        "scaling", "fig3_left_weak_scaling_cpu",
+        params={"cores": gen_pts[-1].ranks, "cells_per_core": "60x60x60"},
+        mlups_per_core=gen_pts[-1].mlups_per_rank,
+        parallel_efficiency=gen_pts[-1].efficiency,
+        generated_over_manual=ratio,
+    )
 
     # flatness: per-core rate at 2^19 cores within 5 % of 32 cores
     assert gen_pts[-1].mlups_per_rank > 0.95 * gen_pts[0].mlups_per_rank
@@ -80,7 +87,7 @@ def test_fig3_left_weak_scaling_cpu(benchmark, p1_full, p1_split):
     benchmark(lambda: model.weak_scaling((60, 60, 60), cores))
 
 
-def test_fig3_middle_weak_scaling_gpu(benchmark, p1_full, p1_split):
+def test_fig3_middle_weak_scaling_gpu(benchmark, p1_full, p1_split, bench_json):
     from repro.gpu import TransformationSequence, apply_sequence
     from repro.parallel import ARIES_DRAGONFLY, ClusterModel, CommOptions
 
@@ -114,6 +121,12 @@ def test_fig3_middle_weak_scaling_gpu(benchmark, p1_full, p1_split):
     lines.append("")
     lines.append("paper: ≈ 440 MLUP/s per GPU, flat to 2 400 GPUs")
     emit_table("fig3_middle_weak_scaling_gpu", lines)
+    bench_json(
+        "scaling", "fig3_middle_weak_scaling_gpu",
+        params={"gpus": pts[-1].ranks, "cells_per_gpu": "400x400x400"},
+        mlups_per_gpu=pts[-1].mlups_per_rank,
+        parallel_efficiency=pts[-1].efficiency,
+    )
 
     assert pts[-1].mlups_per_rank > 0.93 * pts[0].mlups_per_rank
     assert 250 < gpu_rate < 700, "GPU rate should be in the paper's regime"
@@ -121,7 +134,7 @@ def test_fig3_middle_weak_scaling_gpu(benchmark, p1_full, p1_split):
     benchmark(lambda: cluster.weak_scaling((400, 400, 400), gpus))
 
 
-def test_fig3_right_strong_scaling(benchmark, p1_full, p1_split):
+def test_fig3_right_strong_scaling(benchmark, p1_full, p1_split, bench_json):
     from repro.parallel import ClusterModel, CommOptions, OMNIPATH_FAT_TREE
 
     rate = _cpu_core_rate(p1_full, p1_split)
@@ -159,6 +172,13 @@ def test_fig3_right_strong_scaling(benchmark, p1_full, p1_split):
     )
     lines.append("paper: ≈0.2 s per step at 48 cores → 460 steps/s at 152 064 cores")
     emit_table("fig3_right_strong_scaling", lines)
+    bench_json(
+        "scaling", "fig3_right_strong_scaling",
+        params={"domain": "512x256x256", "cores_max": cores[-1]},
+        steps_per_second_48=pts[0].steps_per_second,
+        steps_per_second_max=pts[-1].steps_per_second,
+        speedup=speedup,
+    )
 
     # paper anchors: ≈0.1–0.3 s/step at 48 cores, hundreds of steps/s at the
     # extreme end where the per-step overhead floor dominates

@@ -57,8 +57,17 @@ def _attach_model_accuracy(benchmark, kernels, n):
     )
 
 
+def _record_bench_json(bench_json, benchmark, name, backend, n):
+    bench_json(
+        "kernels", f"{name}/{backend}",
+        params={"block": f"{n}x{n}x{n}", "backend": backend},
+        mlups=n**3 / benchmark.stats["mean"] / 1e6,
+        mean_seconds=benchmark.stats["mean"],
+    )
+
+
 class TestPhiKernelThroughput:
-    def test_phi_full(self, benchmark, p1_full, backend):
+    def test_phi_full(self, benchmark, p1_full, backend, bench_json):
         n = 32
         kernels = [p1_full.phi_kernels[0]]
         compiled = _compile(kernels, backend)
@@ -72,10 +81,11 @@ class TestPhiKernelThroughput:
         benchmark.extra_info["MLUP/s"] = round(n**3 / benchmark.stats["mean"] / 1e6, 3)
         benchmark.extra_info["backend"] = backend
         _attach_model_accuracy(benchmark, kernels, n)
+        _record_bench_json(bench_json, benchmark, "phi_full", backend, n)
 
 
 class TestMuKernelThroughput:
-    def test_mu_full(self, benchmark, p1_full, backend):
+    def test_mu_full(self, benchmark, p1_full, backend, bench_json):
         n = 32
         kernels = p1_full.mu_kernels
         compiled = _compile(kernels, backend)
@@ -89,8 +99,9 @@ class TestMuKernelThroughput:
         benchmark.extra_info["MLUP/s"] = round(n**3 / benchmark.stats["mean"] / 1e6, 3)
         benchmark.extra_info["backend"] = backend
         _attach_model_accuracy(benchmark, kernels, n)
+        _record_bench_json(bench_json, benchmark, "mu_full", backend, n)
 
-    def test_mu_split(self, benchmark, p1_split, backend):
+    def test_mu_split(self, benchmark, p1_split, backend, bench_json):
         n = 32
         kernels = p1_split.mu_kernels
         compiled = _compile(kernels, backend)
@@ -104,10 +115,11 @@ class TestMuKernelThroughput:
         benchmark.extra_info["MLUP/s"] = round(n**3 / benchmark.stats["mean"] / 1e6, 3)
         benchmark.extra_info["backend"] = backend
         _attach_model_accuracy(benchmark, kernels, n)
+        _record_bench_json(bench_json, benchmark, "mu_split", backend, n)
 
 
 class TestProjectionThroughput:
-    def test_projection(self, benchmark, p1_full, backend):
+    def test_projection(self, benchmark, p1_full, backend, bench_json):
         n = 32
         kernels = [p1_full.projection_kernel]
         compiled = _compile(kernels, backend)
@@ -119,3 +131,4 @@ class TestProjectionThroughput:
         benchmark(sweep)
         benchmark.extra_info["backend"] = backend
         _attach_model_accuracy(benchmark, kernels, n)
+        _record_bench_json(bench_json, benchmark, "projection", backend, n)

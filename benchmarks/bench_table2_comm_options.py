@@ -32,7 +32,7 @@ def _gpu_compute_rate(kernel_set) -> float:
     return 1e3 / total_ns
 
 
-def test_table2_communication_options(benchmark, p1_full, p1_split):
+def test_table2_communication_options(benchmark, p1_full, p1_split, bench_json):
     from repro.parallel import ARIES_DRAGONFLY, CommOptions, StepTimeModel
     from repro.pfm import PhaseFieldKernelSet
 
@@ -77,6 +77,13 @@ def test_table2_communication_options(benchmark, p1_full, p1_split):
     lines.append("(deviation compares the *relative* cost of each option against the")
     lines.append(" paper's 395/403/422/440, since absolute GPU rates are model-based)")
     emit_table("table2_comm_options", lines)
+    for (overlap, gd), value in model_vals.items():
+        bench_json(
+            "scaling",
+            f"table2_overlap={int(overlap)}_gpudirect={int(gd)}",
+            params={"gpus": 128, "block": "400x400x400"},
+            mlups_per_gpu=value,
+        )
 
     # ordering must match the paper exactly
     v = model_vals

@@ -7,14 +7,18 @@ verifies that the result is *bit-identical* to a single-block run: the
 ghost-layer protocol and the counter-based RNG make the decomposition
 invisible to the physics.
 
-Also reports the communication statistics (bytes exchanged per step) and
-the Morton-order block assignment.
+Also demonstrates the scaling-observability layer: every rank runs under a
+rank-tagged tracer, the per-rank timelines merge into ONE Chrome/Perfetto
+trace (``distributed_trace.json`` — one named track per rank), and rank 0
+prints the communication matrix, the λ load-imbalance factor and the
+predicted-vs-measured comm-time closure.
 
 Run:  python examples/distributed_run.py
 """
 
 import numpy as np
 
+from repro.observability import export_merged_trace, rank_tracer
 from repro.parallel import BlockForest, DistributedSolver, run_ranks
 from repro.pfm import GrandPotentialModel, make_two_phase_binary, planar_front
 
@@ -50,11 +54,13 @@ def main():
         print(f"  rank {rank}: blocks {blocks} (Morton-contiguous)")
 
     def rank_program(comm):
-        solver = DistributedSolver(kernels, forest, comm=comm)
-        solver.set_state_from(init)
-        solver.step(steps)
-        phi = solver.gather("phi")
-        return phi, solver.bytes_sent, solver.profiler
+        with rank_tracer(comm.rank) as tracer:
+            solver = DistributedSolver(kernels, forest, comm=comm)
+            solver.set_state_from(init)
+            solver.step(steps)
+            phi = solver.gather("phi")
+            scaling = solver.scaling_report()   # collective: all ranks call it
+        return phi, solver.bytes_sent, solver.profiler, tracer, scaling
 
     results = run_ranks(4, rank_program)
     phi_dist = results[0][0]
@@ -74,12 +80,21 @@ def main():
     from repro.profiling import SolverProfiler, kernel_cache_stats
 
     combined = SolverProfiler()
-    for _, _, prof in results:
-        combined.merge(prof)
+    for result in results:
+        combined.merge(result[2])
     print()
     print(combined.report(f"combined profile over 4 ranks, {steps} steps"))
     print(f"\n{kernel_cache_stats()} "
           "(every rank reused the same three compiled kernels)")
+
+    # --- scaling observability: merged trace + comm matrix + λ + closure -----
+    trace_path = export_merged_trace(
+        [r[3] for r in results], "distributed_trace.json"
+    )
+    print(f"\nmerged 4-rank timeline written to {trace_path} "
+          "(open in Perfetto / chrome://tracing)")
+    print()
+    print(results[0][4])   # comm matrix, λ, comm-model closure (same on all ranks)
 
 
 if __name__ == "__main__":

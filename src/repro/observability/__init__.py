@@ -16,13 +16,37 @@ This subsystem makes every layer observable:
   the whole ``repro`` namespace,
 * :mod:`~repro.observability.report` — the predicted-vs-measured model
   accuracy table joining :class:`repro.perfmodel.ecm.ECMModel` predictions
-  with :class:`repro.profiling.SolverProfiler` measurements.
+  with :class:`repro.profiling.SolverProfiler` measurements,
+* :mod:`~repro.observability.distributed` — the scaling layer: rank-tagged
+  tracers merged into one multi-track Perfetto timeline, the per-(src, dst)
+  communication matrix, the λ = max/mean step-time imbalance factor and
+  the comm-model closure against
+  :class:`repro.parallel.comm_model.StepTimeModel`,
+* :mod:`~repro.observability.bench` — the machine-readable benchmark
+  trajectory (``BENCH_scaling.json`` / ``BENCH_kernels.json``) consumed by
+  ``tools/bench_regress.py``.
 
 Everything is off by default and zero-cost when disabled; the kernel cache
 and the solvers are pre-wired, so ``enable_tracing()`` plus a run is enough
 to get a ``trace.json``.
 """
 
+from .bench import (
+    BENCH_SCHEMA,
+    BenchSchemaError,
+    BenchWriter,
+    load_bench_document,
+    validate_bench_document,
+)
+from .distributed import (
+    CommMatrix,
+    comm_closure_report,
+    comm_closure_rows,
+    export_merged_trace,
+    imbalance_factor,
+    merge_rank_traces,
+    rank_tracer,
+)
 from .health import HealthError, HealthEvent, HealthMonitor
 from .log import configure_logging, get_logger, kv
 from .metrics import (
@@ -45,10 +69,15 @@ from .tracing import (
     disable_tracing,
     enable_tracing,
     get_tracer,
+    set_thread_tracer,
     set_tracer,
 )
 
 __all__ = [
+    "BENCH_SCHEMA",
+    "BenchSchemaError",
+    "BenchWriter",
+    "CommMatrix",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",
@@ -60,19 +89,28 @@ __all__ = [
     "PIPELINE_LAYERS",
     "Span",
     "Tracer",
+    "comm_closure_report",
+    "comm_closure_rows",
     "configure_logging",
     "disable_tracing",
     "enable_tracing",
     "export_accuracy_metrics",
+    "export_merged_trace",
     "find_sample",
     "get_logger",
     "get_registry",
     "get_tracer",
+    "imbalance_factor",
     "kv",
+    "load_bench_document",
+    "merge_rank_traces",
     "model_accuracy_report",
     "model_accuracy_rows",
     "parse_prometheus",
+    "rank_tracer",
     "reset_metrics",
     "set_registry",
+    "set_thread_tracer",
     "set_tracer",
+    "validate_bench_document",
 ]

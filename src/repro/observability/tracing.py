@@ -13,13 +13,22 @@ of the paper's workflow:
 :meth:`Tracer.export_chrome` writes the standard Chrome trace-event JSON
 (``trace.json``), loadable in ``chrome://tracing`` or https://ui.perfetto.dev;
 span *categories* name the pipeline layer, so the trace viewer can filter
-by layer.
+by layer.  The export also carries ``process_name``/``thread_name``
+metadata events, so Perfetto shows named tracks instead of bare numeric
+pids/tids; a :class:`Tracer` constructed with ``rank=N`` labels its
+process track ``rank N`` (the per-rank tracers of
+:mod:`repro.observability.distributed` are merged into one multi-track
+timeline this way).
 
 The module-level tracer returned by :func:`get_tracer` is disabled by
 default — a disabled tracer's :meth:`~Tracer.span` yields ``None`` and
 records nothing, keeping the hot path unaffected.  Enable it with
 :func:`enable_tracing` (or install a custom instance with
-:func:`set_tracer`).
+:func:`set_tracer`).  A *thread* can shadow the process-wide tracer with
+:func:`set_thread_tracer`: the simulated MPI ranks of
+:mod:`repro.parallel.mpi_sim` run as threads of one process, and the
+shadowing is what gives every rank its own rank-tagged span collection
+while the instrumented code keeps calling plain :func:`get_tracer`.
 """
 
 from __future__ import annotations
@@ -36,6 +45,7 @@ __all__ = [
     "Tracer",
     "get_tracer",
     "set_tracer",
+    "set_thread_tracer",
     "enable_tracing",
     "disable_tracing",
 ]
@@ -84,13 +94,25 @@ class _ThreadState(threading.local):
 class Tracer:
     """Collects spans and exports them in Chrome trace-event format."""
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, rank: int | None = None):
         self.enabled = enabled
+        self.rank = rank
         self._spans: list[Span] = []
         self._lock = threading.Lock()
         self._state = _ThreadState()
         self._tids: dict[int, int] = {}
         self._epoch = perf_counter()
+
+    @property
+    def epoch(self) -> float:
+        """``perf_counter`` value taken at construction/reset.
+
+        Trace timestamps are relative to it; rank tracers created inside
+        one process share the ``perf_counter`` clock, which is what lets
+        :func:`repro.observability.distributed.merge_rank_traces` align
+        all ranks on a common timeline.
+        """
+        return self._epoch
 
     # -- recording -------------------------------------------------------------
 
@@ -202,25 +224,68 @@ class Tracer:
 
     # -- export ----------------------------------------------------------------
 
-    def to_chrome(self) -> dict:
-        """The trace as a Chrome trace-event ``dict`` (JSON object format)."""
-        events = []
-        for s in self.finished_spans():
+    def process_label(self) -> str:
+        """Name of this tracer's process track (``rank N`` when rank-tagged)."""
+        return f"rank {self.rank}" if self.rank is not None else "repro"
+
+    def to_chrome(self, epoch: float | None = None) -> dict:
+        """The trace as a Chrome trace-event ``dict`` (JSON object format).
+
+        Besides the ``"X"`` duration events the export carries the
+        ``process_name``/``thread_name`` metadata events (``ph: "M"``)
+        that Perfetto and ``chrome://tracing`` use to label tracks —
+        without them the UI shows bare numeric pids/tids.  *epoch*
+        overrides the timestamp origin (used when merging several
+        tracers onto one timeline).
+        """
+        pid = self.rank if self.rank is not None else os.getpid()
+        t0 = self._epoch if epoch is None else epoch
+        events: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": self.process_label()},
+            }
+        ]
+        if self.rank is not None:
             events.append(
+                {
+                    "name": "process_sort_index",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"sort_index": self.rank},
+                }
+            )
+        for tid in sorted(set(self._tids.values())):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": "main" if tid == 0 else f"thread-{tid}"},
+                }
+            )
+        spans = []
+        for s in self.finished_spans():
+            spans.append(
                 {
                     "name": s.name,
                     "cat": s.category or "default",
                     "ph": "X",
-                    "ts": round((s.start - self._epoch) * 1e6, 3),
+                    "ts": round((s.start - t0) * 1e6, 3),
                     "dur": round(s.duration * 1e6, 3),
-                    "pid": os.getpid(),
+                    "pid": pid,
                     "tid": s.tid,
                     "args": s.args,
                 }
             )
-        events.sort(key=lambda e: (e["tid"], e["ts"], -e["dur"]))
+        spans.sort(key=lambda e: (e["tid"], e["ts"], -e["dur"]))
         return {
-            "traceEvents": events,
+            "traceEvents": events + spans,
             "displayTimeUnit": "ms",
             "otherData": {"producer": "repro.observability"},
         }
@@ -234,11 +299,30 @@ class Tracer:
 
 
 _GLOBAL_TRACER = Tracer(enabled=False)
+_THREAD_TRACER = threading.local()
 
 
 def get_tracer() -> Tracer:
-    """The process-wide tracer (disabled no-op unless enabled)."""
-    return _GLOBAL_TRACER
+    """This thread's tracer: the thread-local override, else the global one.
+
+    The process-wide tracer is a disabled no-op unless enabled; a thread
+    (e.g. a simulated MPI rank) may shadow it via :func:`set_thread_tracer`.
+    """
+    override = getattr(_THREAD_TRACER, "tracer", None)
+    return override if override is not None else _GLOBAL_TRACER
+
+
+def set_thread_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install *tracer* for the current thread only; ``None`` removes it.
+
+    Returns the previous thread-local tracer (``None`` if there was none).
+    Instrumented code keeps calling :func:`get_tracer`; the simulated MPI
+    ranks use this to each collect their own rank-tagged spans while
+    sharing one process.
+    """
+    previous = getattr(_THREAD_TRACER, "tracer", None)
+    _THREAD_TRACER.tracer = tracer
+    return previous
 
 
 def set_tracer(tracer: Tracer) -> Tracer:

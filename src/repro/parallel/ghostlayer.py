@@ -18,6 +18,8 @@ of real MPI (:mod:`repro.parallel.mpi_adapter`) without misrouting.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from .blockforest import Block, BlockForest
@@ -58,31 +60,37 @@ def exchange_field(
     ghost_layers: int,
     wall_mode: str = "neumann",
     profiler=None,
+    comm_matrix=None,
 ) -> int:
     """Synchronize the ghost layers of *field_name* over all blocks.
 
     Returns the number of bytes sent to remote ranks (for statistics).
-    When a :class:`repro.profiling.SolverProfiler` is given, the whole
-    exchange (pack, transport, unpack, walls) is timed under
-    ``exchange:<field>`` with the remote byte count attached.
-    """
-    if profiler is not None:
-        from time import perf_counter
+    When a :class:`repro.profiling.SolverProfiler` is given, the exchange
+    is timed under ``exchange:<field>`` (total, with remote byte and
+    message counts) and additionally split per axis into
 
-        t0 = perf_counter()
-        sent = exchange_field(
-            blocks, forest, owners, comm, field_name, ghost_layers, wall_mode
-        )
-        t1 = perf_counter()
-        # end-stamped record: also lands in the trace as a runtime span
-        profiler.record(f"exchange:{field_name}", t1 - t0, nbytes=sent, end=t1)
-        return sent
+    * ``exchange:<field>:pack`` — packing boundary strips, on-rank ghost
+      copies and domain-wall fills (copy work),
+    * ``exchange:<field>:deliver`` — MPI sends and the blocking receives
+      (the wait component), and
+    * ``exchange:<field>:unpack`` — writing received strips into ghosts,
+
+    so wait time is attributable separately from copy time.  ``messages``
+    counts the MPI messages *sent* by this rank, mirroring the byte count.
+    A :class:`repro.observability.CommMatrix` passed as *comm_matrix*
+    additionally receives per-``(src, dst)`` byte/message accounting.
+    """
     gl = int(ghost_layers)
     dim = forest.dim
     my_rank = comm.rank if comm is not None else 0
     sent_bytes = 0
+    sent_messages = 0
+    timing = profiler is not None
+    t_begin = perf_counter() if timing else 0.0
 
     for axis in range(dim):
+        t0 = perf_counter() if timing else 0.0
+        outgoing: list[tuple[int, tuple, tuple, int]] = []
         for coords, block in blocks.items():
             arr = block.arrays[field_name]
             n = arr.shape[axis]
@@ -112,12 +120,10 @@ def exchange_field(
                     tag = (field_name, axis, side)
                     # explicit copy: the strip is a view that later axes of
                     # this very exchange will overwrite (ghost corners)
-                    comm.send((nb, payload.copy()), owner, tag=tag)
-                    sent_bytes += payload.nbytes
+                    outgoing.append((owner, tag, (nb, payload.copy()), payload.nbytes))
         # receive strips destined for my blocks: count expected messages per
         # (source rank, sender side) channel, then dispatch by block coords
         expected: dict[tuple[int, int], int] = {}
-        sides_of: dict[tuple, int] = {}
         for coords, block in blocks.items():
             for side in (-1, +1):
                 nb = forest.neighbor(coords, axis, side)
@@ -125,17 +131,51 @@ def exchange_field(
                     continue
                 key = (owners[nb], -side)  # the sender used its own side
                 expected[key] = expected.get(key, 0) + 1
-                sides_of[(coords, side)] = True
+        if timing:
+            t1 = perf_counter()
+            profiler.record(f"exchange:{field_name}:pack", t1 - t0, end=t1)
+        if not outgoing and not expected:
+            continue
+
+        t0 = perf_counter() if timing else 0.0
+        axis_bytes = 0
+        for owner, tag, message, nbytes in outgoing:
+            comm.send(message, owner, tag=tag)
+            axis_bytes += nbytes
+            if comm_matrix is not None:
+                comm_matrix.add(my_rank, owner, nbytes)
+        sent_bytes += axis_bytes
+        sent_messages += len(outgoing)
+        received: list[tuple[int, tuple]] = []
         for (src, sender_side), count in sorted(expected.items()):
             tag = (field_name, axis, sender_side)
             for _ in range(count):
-                dst_coords, payload = comm.recv(src, tag=tag)
-                arr = blocks[dst_coords].arrays[field_name]
-                n = arr.shape[axis]
-                if sender_side > 0:  # sender's +side strip fills my low ghost
-                    arr[_strip(arr, axis, slice(0, gl))] = payload
-                else:
-                    arr[_strip(arr, axis, slice(n - gl, n))] = payload
+                received.append((sender_side, comm.recv(src, tag=tag)))
+        if timing:
+            t1 = perf_counter()
+            profiler.record(
+                f"exchange:{field_name}:deliver", t1 - t0,
+                nbytes=axis_bytes, messages=len(outgoing), end=t1,
+            )
+
+        t0 = perf_counter() if timing else 0.0
+        for sender_side, (dst_coords, payload) in received:
+            arr = blocks[dst_coords].arrays[field_name]
+            n = arr.shape[axis]
+            if sender_side > 0:  # sender's +side strip fills my low ghost
+                arr[_strip(arr, axis, slice(0, gl))] = payload
+            else:
+                arr[_strip(arr, axis, slice(n - gl, n))] = payload
+        if timing:
+            t1 = perf_counter()
+            profiler.record(f"exchange:{field_name}:unpack", t1 - t0, end=t1)
+
+    if timing:
+        t_end = perf_counter()
+        profiler.record(
+            f"exchange:{field_name}", t_end - t_begin,
+            nbytes=sent_bytes, messages=sent_messages, end=t_end,
+        )
     return sent_bytes
 
 

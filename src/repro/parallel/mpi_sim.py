@@ -18,12 +18,15 @@ from __future__ import annotations
 import queue
 import threading
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable
 
 import numpy as np
 
 __all__ = ["SimComm", "Request", "run_ranks", "RankError"]
 
+#: default deadline for a blocking receive — a rank waiting longer than
+#: this on a message that never comes is deadlocked, not slow
 _RECV_TIMEOUT = 60.0
 
 
@@ -34,8 +37,9 @@ class RankError(RuntimeError):
 class _Router:
     """Per-(src, dst, tag) FIFO channels shared by all ranks."""
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, recv_timeout: float = _RECV_TIMEOUT):
         self.size = size
+        self.recv_timeout = float(recv_timeout)
         self._channels: dict[tuple, queue.Queue] = {}
         self._lock = threading.Lock()
         self.barrier = threading.Barrier(size)
@@ -104,12 +108,26 @@ class SimComm:
         if not 0 <= source < self.size:
             raise ValueError(f"invalid source rank {source}")
         ch = self._router.channel(source, self.rank, tag)
+        timeout = self._router.recv_timeout
+        deadline = perf_counter() + timeout
+        poll = min(0.2, max(timeout / 20.0, 0.005))
         while True:
             try:
-                return ch.get(timeout=0.2)
+                return ch.get(timeout=poll)
             except queue.Empty:
                 if self._router.failed.is_set():
                     raise RankError("another rank failed during recv")
+                if perf_counter() >= deadline:
+                    # deadlock, not slowness: flag the run as failed so the
+                    # other ranks' receives unblock too, then name the
+                    # channel so the hang is diagnosable
+                    self._router.failed.set()
+                    self._router.barrier.abort()
+                    raise RankError(
+                        f"recv timed out after {timeout:g} s "
+                        f"(source={source}, dest={self.rank}, tag={tag!r}) — "
+                        f"no matching send; likely deadlock"
+                    )
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         self.send(obj, dest, tag)  # buffered: completes immediately
@@ -159,12 +177,21 @@ class SimComm:
         raise ValueError(f"unknown reduction op {op!r}")
 
 
-def run_ranks(size: int, func: Callable[..., Any], *args, **kwargs) -> list:
+def run_ranks(
+    size: int,
+    func: Callable[..., Any],
+    *args,
+    recv_timeout: float = _RECV_TIMEOUT,
+    **kwargs,
+) -> list:
     """Run ``func(comm, *args, **kwargs)`` on *size* simulated ranks.
 
     Returns the per-rank return values; re-raises the first rank failure.
+    *recv_timeout* bounds every blocking receive — a rank stuck past it
+    raises :class:`RankError` naming the ``(source, dest, tag)`` channel
+    instead of hanging the whole run (deadlock diagnosability).
     """
-    router = _Router(size)
+    router = _Router(size, recv_timeout=recv_timeout)
     results: list = [None] * size
     errors: list = []
 

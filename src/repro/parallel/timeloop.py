@@ -21,6 +21,7 @@ import numpy as np
 from time import perf_counter
 
 from ..backends.numpy_backend import compile_numpy_kernel
+from ..observability.distributed import CommMatrix
 from ..observability.health import HealthMonitor
 from ..observability.log import get_logger, kv
 from ..observability.metrics import get_registry
@@ -63,6 +64,7 @@ class DistributedSolver:
         self.ghost_layers = max(kernel_set.ghost_layers, 1)
         self.rank = comm.rank if comm is not None else 0
         n_ranks = comm.size if comm is not None else 1
+        self.n_ranks = n_ranks
 
         self.owners = forest.owner_map(n_ranks)
         self.blocks: dict[tuple, Block] = {}
@@ -94,7 +96,9 @@ class DistributedSolver:
         self.time_step = 0
         self.time = 0.0
         self.bytes_sent = 0
+        self.step_seconds = 0.0
         self.profiler = SolverProfiler()
+        self.comm_matrix = CommMatrix(n_ranks)
         self.health = health
         self._cells_per_block = {
             coords: int(np.prod(block.interior_shape))
@@ -150,6 +154,7 @@ class DistributedSolver:
             self.ghost_layers,
             self.wall_mode,
             profiler=self.profiler,
+            comm_matrix=self.comm_matrix,
         )
         self.bytes_sent += sent
         if sent:
@@ -194,7 +199,9 @@ class DistributedSolver:
                 self.time += self.params.dt
                 if self.health is not None and self.health.due(self.time_step):
                     self._check_health()
-            self._step_latency.observe(perf_counter() - t0)
+            dt = perf_counter() - t0
+            self.step_seconds += dt
+            self._step_latency.observe(dt)
 
     def _check_health(self) -> None:
         gl = self.ghost_layers
@@ -209,8 +216,81 @@ class DistributedSolver:
 
     # -- diagnostics ----------------------------------------------------------
 
-    def profile_report(self, machine=None) -> str:
-        """Per-rank timing table plus the predicted-vs-measured closure."""
+    def default_step_model(self):
+        """A :class:`StepTimeModel` calibrated from this run's measurements.
+
+        The compute rate is the rank's aggregate measured kernel MLUP/s; the
+        exchanged volume follows from the block shape and the field set
+        (φ: N components, µ: K−1).  Returns ``None`` before any kernel has
+        been timed.
+        """
+        from .comm_model import OMNIPATH_FAT_TREE, StepTimeModel
+
+        kernel_recs = [r for r in self.profiler.records.values() if r.cells]
+        kernel_secs = sum(r.seconds for r in kernel_recs)
+        kernel_cells = sum(r.cells for r in kernel_recs)
+        if kernel_secs <= 0.0 or kernel_cells == 0:
+            return None
+        return StepTimeModel(
+            compute_mlups=kernel_cells / kernel_secs / 1e6,
+            block_shape=self.forest.block_shape,
+            exchanged_doubles_per_cell=float(
+                self.params.n_phases + self.params.n_mu
+            ),
+            network=OMNIPATH_FAT_TREE,
+            ghost_layers=self.ghost_layers,
+        )
+
+    def scaling_report(self, step_model=None, nodes: int = 1) -> str:
+        """Comm matrix, λ imbalance factor and comm-model closure.
+
+        Under a communicator this is a *collective* call — every rank must
+        invoke it (it gathers the per-rank step times and comm matrices);
+        all ranks return the same matrix and λ, with the closure table
+        built from the calling rank's own exchange timings.  Pass a
+        :class:`repro.parallel.comm_model.StepTimeModel` to predict against
+        specific hardware; by default one is calibrated from the run itself
+        (:meth:`default_step_model`).
+        """
+        from ..observability.distributed import (
+            comm_closure_report,
+            imbalance_factor,
+        )
+
+        matrix = CommMatrix(self.n_ranks).merge(self.comm_matrix)
+        if self.comm is not None:
+            gathered = self.comm.allgather(
+                (self.rank, self.step_seconds, self.comm_matrix)
+            )
+            step_times = [t for _, t, _ in sorted(gathered)]
+            for _, _, other in gathered:
+                if other is not self.comm_matrix:
+                    matrix.merge(other)
+        else:
+            step_times = [self.step_seconds]
+        lam = imbalance_factor(step_times)
+        lines = [
+            matrix.render(
+                f"communication matrix: {self.n_ranks} ranks, "
+                f"{self.time_step} steps"
+            ),
+            f"   load imbalance λ (max/mean per-rank step time): {lam:.3f}",
+            "",
+            comm_closure_report(
+                step_model if step_model is not None else self.default_step_model(),
+                self.profiler,
+                self.time_step,
+                nodes=nodes,
+            ),
+        ]
+        return "\n".join(lines)
+
+    def profile_report(self, machine=None, step_model=None, nodes: int = 1) -> str:
+        """Per-rank timing table plus the predicted-vs-measured closures.
+
+        Includes the distributed scaling section (:meth:`scaling_report`);
+        under a communicator every rank must therefore call this together.
+        """
         from ..observability.report import model_accuracy_report
 
         base = self.profiler.report(
@@ -223,7 +303,7 @@ class DistributedSolver:
             machine=machine,
             block_shape=self.forest.block_shape,
         )
-        parts = [base, "", accuracy]
+        parts = [base, "", accuracy, "", self.scaling_report(step_model, nodes=nodes)]
         if self.health is not None:
             parts += ["", self.health.summary()]
         return "\n".join(parts)

@@ -40,6 +40,7 @@ class TimingRecord:
     seconds: float = 0.0
     cells: int = 0
     bytes: int = 0
+    messages: int = 0     # MPI messages behind this operation (exchanges)
 
     @property
     def mean_seconds(self) -> float:
@@ -67,12 +68,15 @@ class SolverProfiler:
         cells: int = 0,
         nbytes: int = 0,
         end: float | None = None,
+        messages: int = 0,
     ) -> None:
         """Accumulate one timed interval under *name*.
 
         *end* is the ``perf_counter`` value at which the interval finished;
         when given and the global tracer is enabled, the interval is also
         emitted as a ``runtime`` trace span (one measurement, two sinks).
+        *messages* counts the MPI messages behind the interval, so exchange
+        wait time is attributable to message count as well as volume.
         """
         rec = self.records.get(name)
         if rec is None:
@@ -81,6 +85,7 @@ class SolverProfiler:
         rec.seconds += seconds
         rec.cells += cells
         rec.bytes += nbytes
+        rec.messages += messages
         tracer = get_tracer()
         if tracer.enabled and end is not None:
             args = {}
@@ -88,6 +93,8 @@ class SolverProfiler:
                 args["cells"] = cells
             if nbytes:
                 args["bytes"] = nbytes
+            if messages:
+                args["messages"] = messages
             tracer.add_event(
                 name, category="runtime", start=end - seconds, end=end, args=args
             )
@@ -124,6 +131,7 @@ class SolverProfiler:
             mine.seconds += rec.seconds
             mine.cells += rec.cells
             mine.bytes += rec.bytes
+            mine.messages += rec.messages
 
     def reset(self) -> None:
         self.records.clear()
@@ -160,6 +168,11 @@ class SolverProfiler:
                     "repro_op_bytes_total", "bytes moved by operation",
                     op=rec.name, **labels,
                 ).set(rec.bytes)
+            if rec.messages:
+                registry.gauge(
+                    "repro_op_messages_total", "MPI messages behind operation",
+                    op=rec.name, **labels,
+                ).set(rec.messages)
             if rec.cells:
                 registry.gauge(
                     "repro_kernel_mlups", "measured kernel rate",
@@ -184,11 +197,13 @@ class SolverProfiler:
                     f"{rec.mean_seconds * 1e3:.3f}",
                     f"{rec.mlups:.2f}" if rec.cells else "-",
                     f"{rec.bytes / 2**20:.2f}" if rec.bytes else "-",
+                    f"{rec.messages}" if rec.messages else "-",
                 )
             )
         lines.extend(
             format_table(
-                ["operation", "calls", "total s", "mean ms", "MLUP/s", "MiB moved"],
+                ["operation", "calls", "total s", "mean ms", "MLUP/s",
+                 "MiB moved", "msgs"],
                 rows,
             )
         )

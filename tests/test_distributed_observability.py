@@ -1,0 +1,439 @@
+"""Distributed scaling observability (tier-1).
+
+Covers the scaling layer end to end: rank-tagged tracers merging into one
+multi-track Chrome trace, the per-(src, dst) communication matrix fed by
+the ghost exchange, the λ imbalance factor and the comm-model closure in
+``DistributedSolver.profile_report()``, the BENCH JSON schema +
+``tools/bench_regress.py`` gate, the ``SimComm.recv`` deadlock timeout,
+and the multi-rank metrics-export round-trip.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.observability import (
+    BenchSchemaError,
+    BenchWriter,
+    CommMatrix,
+    MetricsRegistry,
+    Tracer,
+    comm_closure_rows,
+    disable_tracing,
+    export_merged_trace,
+    find_sample,
+    get_tracer,
+    imbalance_factor,
+    load_bench_document,
+    merge_rank_traces,
+    parse_prometheus,
+    rank_tracer,
+    reset_metrics,
+    set_thread_tracer,
+    validate_bench_document,
+)
+from repro.parallel import BlockForest, RankError, run_ranks
+from repro.parallel.timeloop import DistributedSolver
+from repro.pfm import GrandPotentialModel, make_two_phase_binary, planar_front
+from repro.profiling import SolverProfiler
+
+
+@pytest.fixture(autouse=True)
+def _clean_observability_state():
+    yield
+    disable_tracing()
+    reset_metrics()
+    set_thread_tracer(None)
+
+
+@pytest.fixture(scope="module")
+def kernel_set():
+    return GrandPotentialModel(make_two_phase_binary(dim=2)).create_kernels()
+
+
+def _init(global_shape, params):
+    def init(offset, shape):
+        full = planar_front(
+            global_shape, params.n_phases, 0, 1,
+            position=global_shape[0] / 2, epsilon=params.epsilon,
+        )
+        sl = tuple(slice(o, o + s) for o, s in zip(offset, shape))
+        return full[sl], 0.0
+
+    return init
+
+
+# -- rank-tagged tracers and trace merging -------------------------------------
+
+
+class TestRankTracer:
+    def test_thread_local_override(self):
+        base = get_tracer()
+        with rank_tracer(3) as tracer:
+            assert get_tracer() is tracer
+            assert tracer.rank == 3
+        assert get_tracer() is base
+
+    def test_rank_process_metadata(self):
+        tracer = Tracer(rank=2)
+        with tracer.span("work", category="runtime"):
+            pass
+        doc = tracer.to_chrome()
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["name"]: e for e in meta}
+        assert names["process_name"]["args"]["name"] == "rank 2"
+        assert names["process_name"]["pid"] == 2
+        assert names["process_sort_index"]["args"]["sort_index"] == 2
+        assert any(e["name"] == "thread_name" for e in meta)
+
+    def test_merge_produces_one_track_per_rank(self):
+        tracers = []
+        for rank in range(3):
+            t = Tracer(rank=rank)
+            with t.span(f"op{rank}", category="runtime"):
+                pass
+            tracers.append(t)
+        doc = merge_rank_traces(tracers)
+        events = doc["traceEvents"]
+        process_names = {
+            e["args"]["name"] for e in events if e["name"] == "process_name"
+        }
+        assert process_names == {"rank 0", "rank 1", "rank 2"}
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["pid"] for e in spans} == {0, 1, 2}
+        # shared clock: timestamps are relative to the earliest epoch
+        assert min(e["ts"] for e in spans) >= 0.0
+        # same category -> same tid on every rank
+        assert len({e["tid"] for e in spans}) == 1
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_rank_traces([None, None])
+
+    def test_export_merged_trace(self, tmp_path):
+        t = Tracer(rank=0)
+        with t.span("op", category="runtime"):
+            pass
+        path = export_merged_trace([t], tmp_path / "merged.json")
+        doc = json.loads((tmp_path / "merged.json").read_text())
+        assert path.endswith("merged.json")
+        assert doc["traceEvents"]
+
+
+# -- communication matrix ------------------------------------------------------
+
+
+class TestCommMatrix:
+    def test_accumulate_and_merge(self):
+        a, b = CommMatrix(3), CommMatrix(3)
+        a.add(0, 1, 100)
+        a.add(0, 1, 100)
+        b.add(1, 2, 50, messages=2)
+        a.merge(b)
+        assert a.total_bytes == 250
+        assert a.total_messages == 4
+        assert list(a.bytes_sent_per_rank()) == [200, 50, 0]
+        assert a.merge(a) is a   # self-merge is a no-op
+        assert a.total_bytes == 250
+
+    def test_merge_size_mismatch(self):
+        with pytest.raises(ValueError):
+            CommMatrix(2).merge(CommMatrix(3))
+
+    def test_render_heatmap(self):
+        m = CommMatrix(2)
+        m.add(0, 1, 2048)
+        text = m.render()
+        assert "src\\dst" in text and "2.0" in text
+        assert "byte imbalance" in text
+
+    def test_imbalance_factor(self):
+        assert imbalance_factor([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+        assert imbalance_factor([2.0, 1.0, 1.0]) == pytest.approx(1.5)
+        assert np.isnan(imbalance_factor([]))
+
+
+# -- exchange split + closure --------------------------------------------------
+
+
+class TestExchangeAccounting:
+    def test_split_records_and_comm_matrix(self, kernel_set):
+        """The exchange splits into pack/deliver/unpack and fills the matrix."""
+        params = kernel_set.model.params
+        forest = BlockForest((16, 16), (8, 8), periodic=True)
+
+        def program(comm):
+            solver = DistributedSolver(kernel_set, forest, comm=comm)
+            solver.set_state_from(_init((16, 16), params))
+            solver.step(2)
+            return solver.profiler, solver.comm_matrix
+
+        results = run_ranks(2, program)
+        profiler, matrix = results[0]
+        recs = profiler.records
+        for part in ("pack", "deliver", "unpack"):
+            assert f"exchange:phi_dst:{part}" in recs
+        assert recs["exchange:phi_dst"].messages > 0
+        assert recs["exchange:phi_dst"].bytes > 0
+        assert recs["exchange:phi_dst:deliver"].messages == \
+            recs["exchange:phi_dst"].messages
+        # rank 0's matrix only holds its own sends
+        assert matrix.bytes[0].sum() > 0
+        assert matrix.bytes[1].sum() == 0
+        merged = CommMatrix(2)
+        for _, m in results:
+            merged.merge(m)
+        assert (merged.bytes > 0).sum() == 2   # 0->1 and 1->0
+
+    def test_closure_rows(self, kernel_set):
+        params = kernel_set.model.params
+        forest = BlockForest((16, 16), (8, 8), periodic=True)
+        solver = DistributedSolver(kernel_set, forest, comm=None)
+        solver.set_state_from(_init((16, 16), params))
+        solver.step(3)
+
+        model = solver.default_step_model()
+        assert model is not None and model.compute_mlups > 0
+        rows = comm_closure_rows(model, solver.profiler, steps=3)
+        assert rows[-1]["field"] == "total"
+        assert rows[-1]["predicted_s"] > 0
+        assert rows[-1]["ratio"] == pytest.approx(
+            rows[-1]["measured_s"] / rows[-1]["predicted_s"]
+        )
+        fields = {r["field"] for r in rows}
+        assert {"phi_dst", "mu_dst"} <= fields
+
+
+# -- the acceptance scenario: 4 ranks, one merged trace, full report -----------
+
+
+class TestDistributedRun:
+    def test_four_rank_trace_and_report(self, kernel_set, tmp_path):
+        params = kernel_set.model.params
+        forest = BlockForest((16, 16), (4, 4), periodic=True)
+
+        def program(comm):
+            with rank_tracer(comm.rank) as tracer:
+                solver = DistributedSolver(kernel_set, forest, comm=comm)
+                solver.set_state_from(_init((16, 16), params))
+                solver.step(2)
+                report = solver.profile_report()
+            return tracer, report
+
+        results = run_ranks(4, program)
+        path = tmp_path / "trace.json"
+        export_merged_trace([t for t, _ in results], path)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        names = {
+            e["args"]["name"] for e in events if e["name"] == "process_name"
+        }
+        assert names == {f"rank {r}" for r in range(4)}
+        exchanges = [
+            e for e in events
+            if e["ph"] == "X" and e["name"] == "exchange:phi_dst"
+        ]
+        assert {e["pid"] for e in exchanges} == {0, 1, 2, 3}
+        for e in exchanges:
+            assert e["args"]["bytes"] > 0
+            assert e["args"]["messages"] > 0
+
+        report = results[0][1]
+        assert "communication matrix" in report
+        assert "load imbalance λ" in report
+        assert "comm model closure" in report
+        assert "measured/predicted" in report
+        # every rank computed the same global matrix and λ
+        matrix_line = next(
+            line for line in report.splitlines() if "total:" in line
+        )
+        for _, other in results[1:]:
+            assert matrix_line in other
+
+    def test_single_rank_report_has_scaling_section(self, kernel_set):
+        params = kernel_set.model.params
+        forest = BlockForest((16, 16), (8, 8), periodic=True)
+        solver = DistributedSolver(kernel_set, forest, comm=None)
+        solver.set_state_from(_init((16, 16), params))
+        solver.step(2)
+        report = solver.profile_report()
+        assert "communication matrix" in report
+        assert "load imbalance λ" in report
+
+
+# -- SimComm.recv deadlock timeout ---------------------------------------------
+
+
+class TestRecvTimeout:
+    def test_deadlocked_pair_raises_named_rank_error(self):
+        def program(comm):
+            # both ranks receive first: a classic deadlock
+            return comm.recv(source=1 - comm.rank, tag=7)
+
+        with pytest.raises(RankError) as exc_info:
+            run_ranks(2, program, recv_timeout=0.3)
+        message = str(exc_info.value)
+        assert "timed out" in message
+        assert "tag=7" in message
+        assert "source=" in message and "dest=" in message
+
+    def test_matched_sends_unaffected(self):
+        def program(comm):
+            comm.send(comm.rank * 10, 1 - comm.rank, tag=1)
+            return comm.recv(1 - comm.rank, tag=1)
+
+        assert run_ranks(2, program, recv_timeout=5.0) == [10, 0]
+
+
+# -- multi-rank metrics export -------------------------------------------------
+
+
+class TestMultiRankMetrics:
+    def test_rank_labels_survive_prometheus_roundtrip(self):
+        registry = MetricsRegistry()
+        profilers = []
+        for rank in range(2):
+            prof = SolverProfiler()
+            prof.record("kernel", 0.5 + rank, cells=1000, nbytes=64)
+            prof.export_metrics(registry, solver="distributed", rank=rank)
+            profilers.append(prof)
+        parsed = parse_prometheus(registry.to_prometheus())
+        for rank in range(2):
+            value = find_sample(
+                parsed, "repro_op_seconds_total",
+                op="kernel", rank=str(rank), solver="distributed",
+            )
+            assert value == pytest.approx(0.5 + rank)
+        merged = SolverProfiler()
+        for prof in profilers:
+            merged.merge(prof)
+        assert merged.records["kernel"].seconds == pytest.approx(2.0)
+
+    def test_merged_histograms_sum_counts(self):
+        registry = MetricsRegistry()
+        for rank in range(3):
+            h = registry.histogram(
+                "repro_step_seconds", "per-step latency",
+                solver="distributed", rank=rank,
+            )
+            for _ in range(4):
+                h.observe(0.01 * (rank + 1))
+        parsed = parse_prometheus(registry.to_prometheus())
+        total = 0.0
+        for rank in range(3):
+            count = find_sample(
+                parsed, "repro_step_seconds", "repro_step_seconds_count",
+                solver="distributed", rank=str(rank),
+            )
+            assert count == 4.0
+            total += count
+        assert total == 12.0
+
+
+# -- BENCH JSON + regression gate ----------------------------------------------
+
+
+class TestBenchJson:
+    def test_writer_roundtrip(self, tmp_path):
+        writer = BenchWriter("scaling")
+        writer.add("a", params={"ranks": 4}, mlups=1.5, parallel_efficiency=0.9)
+        writer.add("a", mlups=2.0)   # replaces, stays unique
+        path = tmp_path / "BENCH_scaling.json"
+        writer.write(path)
+        doc = load_bench_document(path)
+        assert doc["suite"] == "scaling"
+        assert len(doc["records"]) == 1
+        assert doc["records"][0]["metrics"]["mlups"] == 2.0
+
+    def test_rejects_bad_metrics(self):
+        writer = BenchWriter("kernels")
+        with pytest.raises(ValueError):
+            writer.add("x", mlups=float("nan"))
+        with pytest.raises(ValueError):
+            writer.add("x", mlups="fast")
+        with pytest.raises(ValueError):
+            writer.add("x")
+
+    def test_validate_rejects_wrong_schema(self):
+        with pytest.raises(BenchSchemaError):
+            validate_bench_document({"schema": "nope"})
+        with pytest.raises(BenchSchemaError):
+            validate_bench_document(
+                {"schema": "repro-bench/1", "suite": "s",
+                 "records": [{"name": "a", "metrics": {}}]}
+            )
+
+
+class TestBenchRegress:
+    @pytest.fixture()
+    def harness(self, tmp_path):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "tools"))
+        try:
+            import bench_regress
+        finally:
+            sys.path.pop(0)
+
+        writer = BenchWriter("scaling")
+        writer.add("run", params={"ranks": 4}, mlups=100.0, step_seconds=0.5)
+        bench = tmp_path / "BENCH_scaling.json"
+        writer.write(bench)
+        baseline = tmp_path / "baseline.json"
+        assert bench_regress.main(
+            ["record", str(bench), "--baseline", str(baseline)]
+        ) == 0
+        return bench_regress, bench, baseline, tmp_path
+
+    def _write_scaled(self, bench, tmp_path, **metrics):
+        doc = json.loads(bench.read_text())
+        doc["records"][0]["metrics"].update(metrics)
+        slowed = tmp_path / "BENCH_slowed.json"
+        slowed.write_text(json.dumps(doc))
+        return slowed
+
+    def test_identical_run_passes(self, harness):
+        bench_regress, bench, baseline, _ = harness
+        assert bench_regress.main(
+            ["compare", str(bench), "--baseline", str(baseline)]
+        ) == 0
+
+    def test_regression_fails(self, harness):
+        bench_regress, bench, baseline, tmp_path = harness
+        slowed = self._write_scaled(bench, tmp_path, mlups=50.0)
+        assert bench_regress.main(
+            ["compare", str(slowed), "--baseline", str(baseline),
+             "--tolerance", "0.25"]
+        ) == 1
+
+    def test_lower_is_better_direction(self, harness):
+        bench_regress, bench, baseline, tmp_path = harness
+        # step_seconds up = regression; mlups up = improvement
+        worse = self._write_scaled(bench, tmp_path, step_seconds=1.0)
+        assert bench_regress.main(
+            ["compare", str(worse), "--baseline", str(baseline),
+             "--tolerance", "0.25"]
+        ) == 1
+        better = self._write_scaled(
+            bench, tmp_path, mlups=500.0, step_seconds=0.1
+        )
+        assert bench_regress.main(
+            ["compare", str(better), "--baseline", str(baseline),
+             "--tolerance", "0.25"]
+        ) == 0
+
+    def test_warn_only_passes_but_schema_errors_fail(self, harness):
+        bench_regress, bench, baseline, tmp_path = harness
+        slowed = self._write_scaled(bench, tmp_path, mlups=10.0)
+        assert bench_regress.main(
+            ["compare", str(slowed), "--baseline", str(baseline),
+             "--tolerance", "0.25", "--warn-only"]
+        ) == 0
+        broken = tmp_path / "broken.json"
+        broken.write_text('{"schema": "bogus"}')
+        assert bench_regress.main(
+            ["compare", str(broken), "--baseline", str(baseline),
+             "--warn-only"]
+        ) == 2

@@ -104,7 +104,13 @@ class TestTracer:
         disable_tracing()
 
         doc = json.loads(open(path).read())
-        events = doc["traceEvents"]
+        all_events = doc["traceEvents"]
+        assert all_events
+        # metadata events name the tracks (Perfetto shows bare tids without)
+        meta = [ev for ev in all_events if ev["ph"] == "M"]
+        assert "process_name" in {ev["name"] for ev in meta}
+        assert "thread_name" in {ev["name"] for ev in meta}
+        events = [ev for ev in all_events if ev["ph"] != "M"]
         assert events
         for ev in events:
             assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(ev)

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate over BENCH JSON documents.
+
+The benchmark suites write machine-readable ``BENCH_scaling.json`` /
+``BENCH_kernels.json`` documents (schema ``repro-bench/1``, see
+:mod:`repro.observability.bench`).  This tool turns them into a regression
+gate:
+
+    # record the current run as the baseline to compare future runs against
+    python tools/bench_regress.py record BENCH_scaling.json \
+        --baseline benchmarks/baselines/scaling_baseline.json
+
+    # compare a fresh run against the baseline; exit 1 on regression
+    python tools/bench_regress.py compare BENCH_scaling.json \
+        --baseline benchmarks/baselines/scaling_baseline.json --tolerance 0.25
+
+A metric regresses when it moves more than ``--tolerance`` (relative) in
+the *bad* direction: down for throughput-style metrics (MLUP/s,
+efficiency, speedup), up for time-style metrics (names containing
+``seconds``/``time``/``latency``/``_ms``/``_ns``).  Improvements never
+fail, whatever their size.
+
+Exit codes: 0 OK (or regressions with ``--warn-only``), 1 regression,
+2 schema/usage error — schema errors are always fatal, even with
+``--warn-only``, so a broken writer cannot masquerade as a green run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.observability.bench import (  # noqa: E402
+    BENCH_SCHEMA,
+    BenchSchemaError,
+    load_bench_document,
+    lower_is_better,
+)
+
+BASELINE_SCHEMA = "repro-bench-baseline/1"
+
+
+def _record_map(doc: dict) -> dict[str, dict]:
+    return {rec["name"]: rec for rec in doc["records"]}
+
+
+def cmd_record(args) -> int:
+    doc = load_bench_document(args.bench)
+    baseline = {
+        "schema": BASELINE_SCHEMA,
+        "suite": doc["suite"],
+        "recorded_from": {
+            "git_sha": doc.get("git_sha"),
+            "timestamp": doc.get("timestamp"),
+        },
+        "records": doc["records"],
+    }
+    path = Path(args.baseline)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(baseline, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"recorded baseline for suite {doc['suite']!r} "
+          f"({len(doc['records'])} records) -> {path}")
+    return 0
+
+
+def load_baseline(path) -> dict:
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchSchemaError(f"{path}: unreadable baseline ({exc})") from exc
+    if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+        raise BenchSchemaError(
+            f"{path}: schema is {doc.get('schema')!r} "
+            f"if it is a raw {BENCH_SCHEMA} document, run `record` first"
+        )
+    if not isinstance(doc.get("records"), list):
+        raise BenchSchemaError(f"{path}: baseline has no records list")
+    return doc
+
+
+def cmd_compare(args) -> int:
+    doc = load_bench_document(args.bench)
+    baseline = load_baseline(args.baseline)
+    if baseline.get("suite") not in (None, doc["suite"]):
+        raise BenchSchemaError(
+            f"suite mismatch: bench is {doc['suite']!r}, "
+            f"baseline is {baseline.get('suite')!r}"
+        )
+    tol = args.tolerance
+    base_map = _record_map(baseline)
+    cur_map = _record_map(doc)
+
+    regressions: list[str] = []
+    compared = 0
+    for name, base_rec in sorted(base_map.items()):
+        cur_rec = cur_map.get(name)
+        if cur_rec is None:
+            regressions.append(f"{name}: record missing from current run")
+            continue
+        for metric, base_val in sorted(base_rec["metrics"].items()):
+            cur_val = cur_rec["metrics"].get(metric)
+            if cur_val is None:
+                regressions.append(f"{name}: metric {metric!r} missing")
+                continue
+            compared += 1
+            if base_val == 0:
+                continue   # no relative change defined; informational only
+            change = (cur_val - base_val) / abs(base_val)
+            bad = change > tol if lower_is_better(metric) else change < -tol
+            arrow = "worse" if bad else "ok"
+            line = (f"{name}: {metric} {base_val:.4g} -> {cur_val:.4g} "
+                    f"({change:+.1%}, tolerance ±{tol:.0%}) [{arrow}]")
+            if bad:
+                regressions.append(line)
+            elif args.verbose:
+                print(line)
+    for name in sorted(set(cur_map) - set(base_map)):
+        print(f"note: {name} not in baseline (new record, not compared)")
+
+    print(f"compared {compared} metrics over {len(base_map)} baseline records "
+          f"against {args.bench}")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond ±{tol:.0%}:")
+        for line in regressions:
+            print(f"  REGRESSION {line}")
+        if args.warn_only:
+            print("warn-only mode: not failing the run")
+            return 0
+        return 1
+    print("no regressions")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench_regress",
+        description="Record/compare BENCH JSON benchmark documents.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("record", help="save a bench document as the baseline")
+    rec.add_argument("bench", help="BENCH_*.json produced by a benchmark run")
+    rec.add_argument("--baseline", required=True, help="baseline file to write")
+    rec.set_defaults(func=cmd_record)
+
+    cmp_ = sub.add_parser("compare", help="compare a bench document to a baseline")
+    cmp_.add_argument("bench", help="BENCH_*.json produced by a benchmark run")
+    cmp_.add_argument("--baseline", required=True, help="baseline file to read")
+    cmp_.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="allowed relative move in the bad direction (default 0.10)",
+    )
+    cmp_.add_argument(
+        "--warn-only", action="store_true",
+        help="print regressions but exit 0 (schema errors still exit 2)",
+    )
+    cmp_.add_argument("--verbose", action="store_true",
+                      help="also print metrics within tolerance")
+    cmp_.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BenchSchemaError as exc:
+        print(f"schema error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

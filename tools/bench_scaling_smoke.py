@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Small fig3-style scaling smoke benchmark for CI (writes BENCH_scaling.json).
+
+Runs the two-phase binary model on 1/2/4 simulated MPI ranks over a small
+2D block forest — a miniature of the paper's Fig. 3 scaling study — and
+records per-rank-count MLUP/s plus the parallel efficiency relative to the
+1-rank run into a ``repro-bench/1`` document.  Paired with
+``tools/bench_regress.py compare`` against the checked-in baseline
+(``benchmarks/baselines/scaling_baseline.json``) this gates throughput
+regressions in CI; shared runners are noisy, so CI compares warn-only with
+a wide tolerance, while schema breakage always fails hard.
+
+Run:  python tools/bench_scaling_smoke.py [--out BENCH_scaling.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.observability.bench import BenchWriter  # noqa: E402
+from repro.parallel import BlockForest, DistributedSolver, run_ranks  # noqa: E402
+from repro.pfm import (  # noqa: E402
+    GrandPotentialModel,
+    make_two_phase_binary,
+    planar_front,
+)
+
+GLOBAL_SHAPE = (32, 32)
+BLOCK_SHAPE = (16, 16)
+STEPS = 10
+WARMUP = 2
+RANK_COUNTS = (1, 2, 4)
+
+
+def _measure(kernels, params, n_ranks: int) -> float:
+    """Aggregate MLUP/s over *n_ranks* simulated ranks (wall-clock based)."""
+    forest = BlockForest(GLOBAL_SHAPE, BLOCK_SHAPE, periodic=True)
+
+    def init(offset, shape):
+        full = planar_front(
+            GLOBAL_SHAPE, params.n_phases, 0, 1,
+            position=12.0, epsilon=params.epsilon,
+        )
+        sl = tuple(slice(o, o + s) for o, s in zip(offset, shape))
+        return full[sl], 0.0
+
+    def rank_program(comm):
+        solver = DistributedSolver(kernels, forest, comm=comm)
+        solver.set_state_from(init)
+        solver.step(WARMUP)         # compile + warm caches off the clock
+        comm.barrier()
+        t0 = perf_counter()
+        solver.step(STEPS)
+        comm.barrier()
+        return perf_counter() - t0
+
+    times = run_ranks(n_ranks, rank_program)
+    cells = int(np.prod(GLOBAL_SHAPE))
+    return cells * STEPS / max(times) / 1e6
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(_REPO_ROOT / "BENCH_scaling.json"))
+    args = parser.parse_args(argv)
+
+    params = make_two_phase_binary(dim=2)
+    kernels = GrandPotentialModel(params).create_kernels()
+
+    writer = BenchWriter("scaling")
+    base_mlups = None
+    for n_ranks in RANK_COUNTS:
+        mlups = _measure(kernels, params, n_ranks)
+        if base_mlups is None:
+            base_mlups = mlups
+        efficiency = mlups / base_mlups   # fixed global size: strong scaling
+        writer.add(
+            f"fig3_smoke_ranks_{n_ranks}",
+            params={
+                "ranks": n_ranks,
+                "domain": "x".join(map(str, GLOBAL_SHAPE)),
+                "block": "x".join(map(str, BLOCK_SHAPE)),
+                "steps": STEPS,
+            },
+            mlups=mlups,
+            parallel_efficiency=efficiency,
+        )
+        print(f"ranks={n_ranks}: {mlups:.3f} MLUP/s, "
+              f"efficiency {efficiency:.2f}")
+
+    path = writer.write(args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,22 +56,38 @@ def check_trace(path: Path) -> None:
         doc = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
         fail(f"{path}: not readable as JSON ({exc})")
-    events = doc.get("traceEvents")
-    if not isinstance(events, list) or not events:
+    all_events = doc.get("traceEvents")
+    if not isinstance(all_events, list) or not all_events:
         fail(f"{path}: traceEvents missing or empty")
+    meta = [ev for ev in all_events if ev.get("ph") == "M"]
+    meta_names = {ev.get("name") for ev in meta}
+    if "process_name" not in meta_names or "thread_name" not in meta_names:
+        fail(
+            f"{path}: process_name/thread_name metadata events missing "
+            f"(Perfetto would show bare numeric tracks)"
+        )
+    for i, ev in enumerate(meta):
+        if "pid" not in ev or "args" not in ev:
+            fail(f"{path}: metadata event {i} missing pid/args")
+    events = [ev for ev in all_events if ev.get("ph") != "M"]
+    if not events:
+        fail(f"{path}: no duration events (only metadata)")
     for i, ev in enumerate(events):
         missing = REQUIRED_EVENT_KEYS - set(ev)
         if missing:
             fail(f"{path}: event {i} missing keys {sorted(missing)}")
         if ev["ph"] != "X":
-            fail(f"{path}: event {i} has phase {ev['ph']!r}, expected 'X'")
+            fail(f"{path}: event {i} has phase {ev['ph']!r}, expected 'X' or 'M'")
         if ev["dur"] < 0 or ev["ts"] < 0:
             fail(f"{path}: event {i} has negative ts/dur")
     seen = {ev["cat"] for ev in events}
     missing = REQUIRED_CATEGORIES - seen
     if missing:
         fail(f"{path}: span categories missing: {sorted(missing)} (saw {sorted(seen)})")
-    print(f"check_observability: {path}: {len(events)} events, categories {sorted(seen)}")
+    print(
+        f"check_observability: {path}: {len(events)} events "
+        f"(+{len(meta)} metadata), categories {sorted(seen)}"
+    )
 
 
 def check_metrics(path: Path) -> None:
