@@ -76,7 +76,7 @@ def build_kernel(dx=1.0, dt=0.05, epsilon=4.0, gamma=1.0):
     ac = discretize_system(system, phi_dst, disc)
     config = KernelConfig(parameter_values={"dt": dt, "dx_0": dx, "dx_1": dx})
     kernel = create_kernel(ac, config)
-    return kernel
+    return kernel, functional, phi
 
 
 def parse_args(argv=None):
@@ -87,6 +87,9 @@ def parse_args(argv=None):
                     help="write a Prometheus text-format metrics snapshot")
     ap.add_argument("--health", action="store_true",
                     help="enable the NaN/bounds health watchdog")
+    ap.add_argument("--diagnostics", metavar="PATH",
+                    help="stream the codegen-derived physics diagnostics "
+                         "(free energy, phase fraction, interface area) to a CSV")
     ap.add_argument("--log-level", metavar="LEVEL",
                     help="enable structured logging (DEBUG, INFO, ...)")
     return ap.parse_args(argv)
@@ -102,12 +105,30 @@ def main(argv=None):
         policy="raise", interval=60, bounds={"phi": (-1e-9, 1 + 1e-9)}
     ) if args.health else None
 
-    kernel = build_kernel()
+    kernel, functional, phi_field = build_kernel()
     print("generated kernel:", kernel)
     oc = kernel.operation_count()
     print(f"per-cell cost: {oc}")
 
     step = compile_cached(kernel, "numpy")
+
+    suite = series = None
+    if args.diagnostics:
+        from repro.diagnostics import (
+            DiagnosticsSeries,
+            DiagnosticsSuite,
+            functional_diagnostics,
+        )
+
+        # the observables come from the SAME functional as the PDE —
+        # derived symbolically and lowered to a reduction kernel
+        suite = DiagnosticsSuite(
+            functional_diagnostics(functional, phi_field, dim=2), dim=2, dx=1.0
+        )
+        series = DiagnosticsSeries(
+            suite.names, csv_path=args.diagnostics,
+            metrics=bool(args.metrics), trace=bool(args.trace),
+        )
 
     n = 96
     arrays = create_arrays(kernel.fields, (n, n), ghost_layers=1)
@@ -122,6 +143,13 @@ def main(argv=None):
     def area():
         return arrays["phi"][1:-1, 1:-1].sum()
 
+    def eval_diagnostics(ts):
+        fill_ghosts(arrays["phi"], 1, 2, mode="neumann")
+        series.record(ts, ts * 0.05, suite.evaluate(arrays, ghost_layers=1))
+
+    if series is not None:
+        eval_diagnostics(0)
+
     profiler = SolverProfiler()
     print("\n   step     area A      dA/dt (should be ~constant < 0)")
     a_prev = area()
@@ -134,14 +162,24 @@ def main(argv=None):
             # the *obstacle* part of the potential: clip back to [0, 1]
             np.clip(arrays["phi_dst"], 0.0, 1.0, out=arrays["phi_dst"])
             arrays["phi"], arrays["phi_dst"] = arrays["phi_dst"], arrays["phi"]
-            if health is not None:
-                ts = outer * 60 + inner + 1
-                if health.due(ts):
-                    health.check({"phi": arrays["phi"][1:-1, 1:-1]}, ts)
+            ts = outer * 60 + inner + 1
+            if series is not None and ts % 10 == 0:
+                eval_diagnostics(ts)
+            if health is not None and health.due(ts):
+                health.check({"phi": arrays["phi"][1:-1, 1:-1]}, ts)
         a_now = area()
         rate = (a_now - a_prev) / (60 * 0.05)
         print(f"  {60 * (outer + 1):5d}  {a_now:9.1f}    {rate:8.2f}")
         a_prev = a_now
+
+    if series is not None:
+        e = series.column("free_energy")
+        drops = sum(e[i + 1] <= e[i] for i in range(len(e) - 1))
+        print(
+            f"\ndiagnostics: {len(series)} rows -> {series.csv_path} "
+            f"(free energy {e[0]:.2f} -> {e[-1]:.2f}, "
+            f"non-increasing on {drops}/{len(e) - 1} intervals)"
+        )
 
     print()
     print(model_accuracy_report([kernel], profiler, block_shape=(n, n)))

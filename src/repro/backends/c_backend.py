@@ -160,6 +160,8 @@ def generate_c_source(kernel: Kernel, func_name: str | None = None) -> str:
         args.append(f"const double p_{p.name}")
     args.append("const int64_t time_step")
     args.append("const int64_t seed")
+    if kernel.is_reduction:
+        args.append("double * restrict reduce_out")
 
     lines.append(f"void {func_name}(")
     lines.append("    " + ",\n    ".join(args) + ")")
@@ -277,12 +279,27 @@ def _emit_c_loop_nest(kernel, region, assignments, h_expr, dim) -> list[str]:
         for a in sub + assignments
         for c in a.rhs.atoms(CoordinateSymbol)
     }
+    # reduction kernels accumulate into per-output scalars instead of storing
+    reductions = kernel.reductions if kernel.is_reduction else ()
+    acc_names = {}
+    if reductions:
+        for i, a in enumerate(assignments):
+            acc_names[a.lhs.name] = f"__acc_{i}"
+            out.append(f"{indent}    double __acc_{i} = 0.0;")
+
     omp_written = False
     for level, axis in enumerate(loop_order, start=1):
         lo, hi = region[axis]
         bound = f"n{axis} + {lo + hi}" if (lo or hi) else f"n{axis}"
         if not omp_written:
-            out.append(f"{indent}    #pragma omp parallel for schedule(static)")
+            clause = (
+                " reduction(+:" + ",".join(acc_names.values()) + ")"
+                if acc_names
+                else ""
+            )
+            out.append(
+                f"{indent}    #pragma omp parallel for schedule(static){clause}"
+            )
             omp_written = True
         out.append(f"{pad}for (int64_t i{axis} = 0; i{axis} < {bound}; ++i{axis}) {{")
         pad += "    "
@@ -292,11 +309,17 @@ def _emit_c_loop_nest(kernel, region, assignments, h_expr, dim) -> list[str]:
             out.append(f"{pad}const double {a.lhs.name} = {pr(fix(a.rhs))};")
 
     for a in assignments:
-        out.append(f"{pad}{access_str(a.lhs)} = {pr(fix(a.rhs))};")
+        if acc_names:
+            out.append(f"{pad}{acc_names[a.lhs.name]} += {pr(fix(a.rhs))};")
+        else:
+            out.append(f"{pad}{access_str(a.lhs)} = {pr(fix(a.rhs))};")
 
     for _ in range(dim):
         pad = pad[:-4]
         out.append(f"{pad}}}")
+    if reductions:
+        for i, a in enumerate(assignments):
+            out.append(f"{pad}reduce_out[{i}] = __acc_{i};")
     out.append("    }")
     return out
 
@@ -357,9 +380,18 @@ class CompiledCKernel:
         block_offset=(0, 0, 0),
         origin=(0.0, 0.0, 0.0),
         ghost_layers: int | None = None,
+        tile_shape: tuple[int, ...] | None = None,
         **params,
-    ) -> None:
+    ):
         k = self.kernel
+        if tile_shape is not None:
+            # OpenMP reduction order is fixed by the thread count, not by a
+            # tile decomposition; bit-reproducible sums are the NumPy
+            # backend's job (see DESIGN.md, "fixed-order reduction")
+            raise ValueError(
+                "tile_shape is not supported by the C backend; use the "
+                "numpy backend for partition-invariant reductions"
+            )
         dim = k.dim
         gl = k.ghost_layers if ghost_layers is None else int(ghost_layers)
         ref = arrays[k.fields[0].name]
@@ -388,7 +420,13 @@ class CompiledCKernel:
             argv.append(ctypes.c_double(float(params[p.name])))
         argv.append(ctypes.c_int64(int(params.get("time_step", 0))))
         argv.append(ctypes.c_int64(int(params.get("seed", 0))))
+        if k.is_reduction:
+            out = np.zeros(len(k.reductions), dtype=np.float64)
+            argv.append(out.ctypes.data_as(ctypes.POINTER(ctypes.c_double)))
+            self._func(*argv)
+            return {name: float(v) for name, v in zip(k.reductions, out)}
         self._func(*argv)
+        return None
 
 
 def compile_c_kernel(kernel: Kernel) -> CompiledCKernel:

@@ -118,8 +118,9 @@ class CompiledNumpyKernel:
         block_offset: tuple[int, ...] = (0, 0, 0),
         origin: tuple[float, ...] = (0.0, 0.0, 0.0),
         ghost_layers: int | None = None,
+        tile_shape: tuple[int, ...] | None = None,
         **params,
-    ) -> None:
+    ):
         """Execute one sweep over the interior of *arrays* (in place).
 
         ``arrays`` maps field names to ghost-layered ndarrays; ``params``
@@ -127,6 +128,12 @@ class CompiledNumpyKernel:
         constants, ``t``, ``time_step``, ``seed`` …).  ``ghost_layers`` is
         the actual ghost width of the arrays (defaults to the kernel's
         minimum requirement).
+
+        Stencil kernels write in place and return ``None``.  Reduction
+        kernels leave the arrays untouched and return ``{name: float}`` with
+        one raw (unscaled) interior sum per reduction output; ``tile_shape``
+        selects the fixed-order tiled summation that makes the result
+        partition-invariant (see :func:`repro.backends.runtime.tile_sum`).
         """
         gl = self.kernel.ghost_layers if ghost_layers is None else int(ghost_layers)
         min_gl = max(self.kernel.ghost_layers, self._needs_upper_ext)
@@ -156,7 +163,17 @@ class CompiledNumpyKernel:
         missing_params = needed - set(params)
         if missing_params:
             raise KeyError(f"missing kernel parameters: {sorted(missing_params)}")
+        if self.kernel.is_reduction:
+            tiles = tuple(int(t) for t in tile_shape) if tile_shape else None
+            return self._func(
+                arrays, params, tuple(block_offset), tuple(origin), gl, tiles
+            )
+        if tile_shape is not None:
+            raise ValueError(
+                f"tile_shape only applies to reduction kernels, not {self.name}"
+            )
         self._func(arrays, params, tuple(block_offset), tuple(origin), gl)
+        return None
 
 
 def compile_numpy_kernel(kernel: Kernel) -> CompiledNumpyKernel:
@@ -193,7 +210,15 @@ def generate_numpy_source(kernel: Kernel) -> str:
     param_names = sorted(p.name for p in kernel.parameters)
     body: list[str] = []
     body.append(f"# generated NumPy kernel: {kernel.name}")
-    body.append("def _kernel(__arrays, __params, __block_offset, __origin, __gl):")
+    if kernel.is_reduction:
+        body.append(
+            "def _kernel(__arrays, __params, __block_offset, __origin, __gl,"
+            " __tiles=None):"
+        )
+    else:
+        body.append(
+            "def _kernel(__arrays, __params, __block_offset, __origin, __gl):"
+        )
     ind = "    "
     ref_field = sorted(ac.fields, key=lambda f: f.name)[0]
     body.append(ind + f"__shape = __arrays[{ref_field.name!r}].shape")
@@ -202,6 +227,10 @@ def generate_numpy_source(kernel: Kernel) -> str:
             body.append(ind + f"{p} = __params.get({p!r}, 0)")
         else:
             body.append(ind + f"{p} = __params[{p!r}]")
+
+    if kernel.is_reduction:
+        body.extend(_emit_reduction_block(kernel, ind))
+        return "\n".join(body) + "\n"
 
     for gid, (region, assignments) in enumerate(sorted(groups.items())):
         body.extend(
@@ -226,13 +255,19 @@ def _needed_subexpressions(
     return list(reversed(chosen))
 
 
-def _emit_region_block(
+def _emit_bindings(
     kernel: Kernel,
     region: tuple[tuple[int, int], ...],
     assignments: list[Assignment],
     gid: int,
     ind: str,
-) -> list[str]:
+):
+    """Emit field-read/coordinate/RNG/subexpression bindings for a region.
+
+    Returns ``(lines, pr, region_shape)`` where ``pr`` prints an expression
+    with all renames applied and ``region_shape`` is the source string of
+    the region's spatial shape tuple.
+    """
     ac = kernel.ac
     dim = kernel.dim
     sub = _needed_subexpressions(ac, assignments)
@@ -322,6 +357,19 @@ def _emit_region_block(
         rename[a.lhs.name] = a.lhs.name + suffix
         lines.append(ind + f"{a.lhs.name}{suffix} = {pr(a.rhs)}")
 
+    return lines, pr, region_shape
+
+
+def _emit_region_block(
+    kernel: Kernel,
+    region: tuple[tuple[int, int], ...],
+    assignments: list[Assignment],
+    gid: int,
+    ind: str,
+) -> list[str]:
+    dim = kernel.dim
+    lines, pr, _ = _emit_bindings(kernel, region, assignments, gid, ind)
+
     # main stores
     for a in assignments:
         lhs: FieldAccess = a.lhs
@@ -333,4 +381,28 @@ def _emit_region_block(
         lines.append(
             ind + f"__arrays[{lhs.field.name!r}][{slices}{idx}] = {pr(a.rhs)}"
         )
+    return lines
+
+
+def _emit_reduction_block(kernel: Kernel, ind: str) -> list[str]:
+    """Emit the body of a sum-reduction kernel (interior region only).
+
+    Each reduction output's density expression is evaluated vectorized over
+    the interior, broadcast to the full region shape (constants reduce to
+    NumPy scalars otherwise) and summed via ``_tile_sum`` so the operation
+    order is the fixed block-tiled tree documented in
+    :func:`repro.backends.runtime.tile_sum`.
+    """
+    region = ((0, 0),) * kernel.dim
+    outputs = kernel.ac.reduction_outputs
+    lines, pr, region_shape = _emit_bindings(kernel, region, outputs, 0, ind)
+    lines.append(ind + "__out = {}")
+    for a in outputs:
+        lines.append(
+            ind
+            + f"__out[{a.lhs.name!r}] = _tile_sum(numpy.broadcast_to("
+            + f"numpy.asarray({pr(a.rhs)}, dtype=numpy.float64), "
+            + f"{region_shape}), __tiles)"
+        )
+    lines.append(ind + "return __out")
     return lines

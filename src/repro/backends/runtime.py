@@ -8,11 +8,20 @@ full double precision.
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from ..rng.philox import philox_field
 
-__all__ = ["fast_div", "fast_sqrt", "fast_rsqrt", "rng_uniform", "RUNTIME_NAMESPACE"]
+__all__ = [
+    "fast_div",
+    "fast_sqrt",
+    "fast_rsqrt",
+    "rng_uniform",
+    "tile_sum",
+    "RUNTIME_NAMESPACE",
+]
 
 
 def fast_div(a, b):
@@ -52,6 +61,41 @@ def rng_uniform(shape, time_step, seed, stream, offset, low, high):
     )
 
 
+def tile_sum(values, tile_shape=None):
+    """Sum *values* with a reproducible, partition-invariant operation order.
+
+    ``tile_shape=None`` sums the whole array at once (fastest; the order is
+    whatever NumPy's pairwise summation picks for that shape).  With a tile
+    shape, the array is cut into a lexicographically ordered grid of tiles
+    (edge tiles may be smaller) and each tile is summed independently, the
+    per-tile partials being accumulated left to right in plain double adds.
+
+    This is the fixed-order tree sum used for distributed diagnostics: a
+    block-decomposed run sums each block interior separately and merges the
+    partials in sorted block-coordinate order, which is *exactly* the
+    operation sequence of ``tile_sum(whole_interior, block_shape)`` — so a
+    single-process evaluation reproduces the distributed one bit for bit.
+    """
+    a = np.ascontiguousarray(np.asarray(values, dtype=np.float64))
+    if tile_shape is None:
+        return float(np.sum(a))
+    tile_shape = tuple(int(t) for t in tile_shape)
+    if len(tile_shape) > a.ndim or any(t < 1 for t in tile_shape):
+        raise ValueError(
+            f"tile shape {tile_shape} invalid for array of shape {a.shape}"
+        )
+    counts = [
+        -(-a.shape[d] // tile_shape[d]) for d in range(len(tile_shape))
+    ]
+    total = 0.0
+    for idx in itertools.product(*(range(c) for c in counts)):
+        sl = tuple(
+            slice(i * t, (i + 1) * t) for i, t in zip(idx, tile_shape)
+        )
+        total += float(np.sum(np.ascontiguousarray(a[sl])))
+    return total
+
+
 #: Namespace injected into every generated NumPy kernel.
 RUNTIME_NAMESPACE = {
     "np": np,
@@ -59,4 +103,5 @@ RUNTIME_NAMESPACE = {
     "_fast_sqrt": fast_sqrt,
     "_fast_rsqrt": fast_rsqrt,
     "_rng_uniform": rng_uniform,
+    "_tile_sum": tile_sum,
 }

@@ -1,0 +1,164 @@
+"""Symbolic derivation of scalar diagnostics from the energy functional.
+
+Every diagnostic is a cell-local density expression whose integral (or
+mean) over the domain is the observable.  Densities are written with the
+same :class:`~repro.symbolic.field.FieldAccess` /
+:class:`~repro.symbolic.operators.Diff` vocabulary as the energy
+functional itself, so the existing finite-difference layer lowers them to
+stencils without any special cases — the diagnostics are *generated* from
+the model exactly like the PDEs are (MOOSE calls the same concept a
+"postprocessor").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import sympy as sp
+
+from ..symbolic.field import Field, FieldAccess
+from ..symbolic.functional import EnergyFunctional
+from ..symbolic.operators import Diff
+
+__all__ = [
+    "DiagnosticSpec",
+    "gradient_magnitude",
+    "invariant_names",
+    "model_diagnostics",
+    "functional_diagnostics",
+]
+
+
+def invariant_names(names, params=None) -> tuple[tuple[str, ...], str | None]:
+    """Which diagnostics feed the invariant watchdogs.
+
+    Returns ``(mass_names, energy_name)``: every ``solute_mass_*``
+    diagnostic is conservation-checked; ``free_energy`` is decay-checked
+    only when the run is isothermal and noise-free (with fluctuations or a
+    temperature ramp ``dΨ/dt ≤ 0`` is not guaranteed by the variational
+    structure).  *params* is a :class:`~repro.pfm.parameters.ModelParameters`
+    (or ``None`` to skip the gating).
+    """
+    names = list(names)
+    mass = tuple(n for n in names if n.startswith("solute_mass"))
+    energy = "free_energy" if "free_energy" in names else None
+    if energy is not None and params is not None:
+        temperature = getattr(params, "temperature", None)
+        isothermal = getattr(temperature, "time_derivative", 0) == 0
+        if not isothermal or getattr(params, "fluctuation_amplitude", 0.0):
+            energy = None
+    return mass, energy
+
+
+@dataclass(frozen=True)
+class DiagnosticSpec:
+    """One scalar observable defined by a cell-local density.
+
+    ``scale`` decides how the raw interior sum is reported: ``"integral"``
+    multiplies by the cell volume ``dV`` (free energy, solute mass,
+    interface area), ``"mean"`` divides by the global cell count (volume
+    fractions).
+    """
+
+    name: str
+    expr: sp.Expr
+    scale: str = "integral"
+    description: str = ""
+
+    def __post_init__(self):
+        if self.scale not in ("integral", "mean"):
+            raise ValueError(f"unknown diagnostic scale {self.scale!r}")
+        object.__setattr__(self, "expr", sp.sympify(self.expr))
+
+
+def gradient_magnitude(access: FieldAccess, dim: int) -> sp.Expr:
+    """``|∇φ|`` as a symbolic density (lowered to central differences)."""
+    return sp.sqrt(sp.Add(*[Diff(access, d) ** 2 for d in range(dim)]))
+
+
+def model_diagnostics(model) -> list[DiagnosticSpec]:
+    """The standard suite for a :class:`~repro.pfm.model.GrandPotentialModel`.
+
+    * ``free_energy`` — ``∫ ε a + ω/ε + ψ dV``, the full grand-potential
+      density (monotonically non-increasing for isothermal no-noise runs),
+    * ``phase_fraction_<α>`` — mean of ``φ_α`` (volume fraction),
+    * ``solute_mass_<m>`` — ``∫ c_m(φ,µ) dV`` with
+      ``c_m = Σ_α c_α,m(µ,T) h_α(φ)``; conserved by the µ-equation,
+    * ``interface_area`` — ``∫ ½ Σ_α |∇φ_α| dV`` (for two sharp phases
+      this converges to the interface area times the profile integral).
+    """
+    p = model.params
+    dim = p.dim
+    specs = [
+        DiagnosticSpec(
+            "free_energy",
+            model.energy_density(),
+            scale="integral",
+            description="total grand-potential functional Ψ",
+        )
+    ]
+    for a in range(p.n_phases):
+        specs.append(
+            DiagnosticSpec(
+                f"phase_fraction_{a}",
+                model.phi.center(a),
+                scale="mean",
+                description=f"volume fraction of phase {a}",
+            )
+        )
+    conc = model.driving_force.concentration_total(model.phi, model.mu, model.T)
+    for m in range(p.n_mu):
+        specs.append(
+            DiagnosticSpec(
+                f"solute_mass_{m}",
+                conc[m],
+                scale="integral",
+                description=f"total solute mass of component {m}",
+            )
+        )
+    specs.append(
+        DiagnosticSpec(
+            "interface_area",
+            sp.Rational(1, 2)
+            * sp.Add(
+                *[
+                    gradient_magnitude(model.phi.center(a), dim)
+                    for a in range(p.n_phases)
+                ]
+            ),
+            scale="integral",
+            description="∫ ½ Σ_α |∇φ_α| dV",
+        )
+    )
+    return specs
+
+
+def functional_diagnostics(
+    functional: EnergyFunctional, phi: Field, dim: int
+) -> list[DiagnosticSpec]:
+    """Diagnostics for a hand-built single-order-parameter functional.
+
+    Used by models that assemble an :class:`EnergyFunctional` directly
+    (e.g. the quickstart Allen-Cahn example) rather than going through
+    :class:`~repro.pfm.model.GrandPotentialModel`.
+    """
+    return [
+        DiagnosticSpec(
+            "free_energy",
+            functional.density,
+            scale="integral",
+            description="total free energy Ψ",
+        ),
+        DiagnosticSpec(
+            "phase_fraction",
+            phi.center(),
+            scale="mean",
+            description="volume fraction of the φ=1 phase",
+        ),
+        DiagnosticSpec(
+            "interface_area",
+            gradient_magnitude(phi.center(), dim),
+            scale="integral",
+            description="∫ |∇φ| dV",
+        ),
+    ]

@@ -48,6 +48,12 @@ class Kernel:
     hoist_levels: dict[sp.Symbol, int]
     types: dict[sp.Symbol, BasicType]
     config: KernelConfig = dc_field(default_factory=KernelConfig)
+    #: names of scalar sum-reduction outputs (empty for stencil sweeps)
+    reductions: tuple[str, ...] = ()
+
+    @property
+    def is_reduction(self) -> bool:
+        return bool(self.reductions)
 
     @property
     def parameters(self) -> list[sp.Symbol]:
@@ -127,6 +133,12 @@ def create_kernel(
         if sorted(loop_order) != list(range(dim)):
             raise ValueError(f"loop_order {loop_order} is not a permutation of axes")
 
+        reductions = tuple(a.lhs.name for a in ac.reduction_outputs)
+        if reductions and ac.field_writes:
+            raise ValueError(
+                "a kernel cannot mix field stores with reduction outputs: "
+                f"{ac.name}"
+            )
         kernel = Kernel(
             name=name or ac.name,
             ac=ac,
@@ -136,6 +148,7 @@ def create_kernel(
             hoist_levels=classify_hoist_levels(ac, tuple(loop_order)),
             types=infer_types(ac),
             config=config,
+            reductions=reductions,
         )
         if span is not None:
             span.args.update(

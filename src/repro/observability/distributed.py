@@ -191,12 +191,22 @@ def merge_rank_traces(tracers) -> dict:
     tracers = [t for t in tracers if t is not None]
     if not tracers:
         raise ValueError("no tracers to merge")
+    ranks = [
+        t.rank if t.rank is not None else i for i, t in enumerate(tracers)
+    ]
+    duplicates = sorted({r for r in ranks if ranks.count(r) > 1})
+    if duplicates:
+        # two tracers on one pid would silently interleave their tracks
+        raise ValueError(
+            f"duplicate rank ids in merged trace: {duplicates}"
+        )
     epoch = min(t.epoch for t in tracers)
     layer_tids = {layer: i for i, layer in enumerate(PIPELINE_LAYERS)}
     meta: list[dict] = []
     spans: list[dict] = []
+    counters: list[dict] = []
     for i, tracer in enumerate(tracers):
-        rank = tracer.rank if tracer.rank is not None else i
+        rank = ranks[i]
         meta.append(
             {
                 "name": "process_name",
@@ -245,9 +255,22 @@ def merge_rank_traces(tracers) -> dict:
                     "args": {"name": cat},
                 }
             )
+        for name, category, ts, values in tracer.counters:
+            counters.append(
+                {
+                    "name": name,
+                    "cat": category or "counter",
+                    "ph": "C",
+                    "ts": round((ts - epoch) * 1e6, 3),
+                    "pid": rank,
+                    "tid": 0,
+                    "args": values,
+                }
+            )
     spans.sort(key=lambda e: (e["pid"], e["tid"], e["ts"], -e["dur"]))
+    counters.sort(key=lambda e: (e["pid"], e["name"], e["ts"]))
     return {
-        "traceEvents": meta + spans,
+        "traceEvents": meta + spans + counters,
         "displayTimeUnit": "ms",
         "otherData": {"producer": "repro.observability.distributed"},
     }

@@ -46,7 +46,7 @@ class HealthEvent:
     """One failed check at one point in simulated time."""
 
     time_step: int
-    check: str          # "nan" | "phase_sum" | "bounds"
+    check: str          # "nan" | "phase_sum" | "bounds" | "conservation" | "energy_decay"
     field: str
     message: str
     value: float = 0.0
@@ -75,6 +75,14 @@ class HealthMonitor:
     bounds:
         Per-field ``{name: (lo, hi)}`` alarms; ``None`` for either end
         leaves that side unchecked.
+    conservation_tol:
+        Allowed relative drift of a conserved diagnostic (e.g. total
+        solute mass) from its first recorded value, or ``None`` to
+        disable — used by :meth:`check_diagnostics`.
+    energy_decay_slack:
+        Relative slack allowed on the free-energy monotonic-decay
+        invariant ``dΨ/dt ≤ 0`` (isothermal, no noise); absorbs rounding
+        of the reduction itself.
     """
 
     policy: str = "raise"
@@ -84,8 +92,12 @@ class HealthMonitor:
     bounds: dict[str, tuple[float | None, float | None]] = dc_field(
         default_factory=dict
     )
+    conservation_tol: float | None = 1e-8
+    energy_decay_slack: float = 1e-12
     events: list[HealthEvent] = dc_field(default_factory=list)
     n_checks: int = 0
+    _mass_ref: dict = dc_field(default_factory=dict, repr=False)
+    _energy_prev: float | None = dc_field(default=None, repr=False)
 
     def __post_init__(self):
         if self.policy not in ("record", "warn", "raise"):
@@ -162,28 +174,97 @@ class HealthMonitor:
                     )
 
         self.n_checks += 1
-        if found:
-            self.events.extend(found)
-            for event in found:
-                registry.counter(
-                    "repro_health_events_total",
-                    "failed health checks",
-                    check=event.check,
-                    field=event.field,
-                ).inc()
-                if self.policy in ("warn", "raise"):
-                    _log.warning(
-                        kv(
-                            "health_check_failed",
-                            step=event.time_step,
-                            check=event.check,
-                            field=event.field,
-                            detail=event.message,
-                        )
-                    )
-            if self.policy == "raise":
-                raise HealthError(found)
+        self._record(found, registry)
         return found
+
+    def check_diagnostics(
+        self,
+        values: dict[str, float],
+        time_step: int = 0,
+        mass_names: tuple[str, ...] = (),
+        energy_name: str | None = None,
+        where: str = "",
+    ) -> list[HealthEvent]:
+        """Run the physics-invariant checks on a diagnostics row.
+
+        *mass_names* lists conserved diagnostics (checked for relative
+        drift against their first recorded value), *energy_name* the total
+        free energy (checked for monotonic decay against the previous
+        value).  Non-finite values are skipped — the NaN watchdog owns
+        those.  Findings go through the same policy/metrics machinery as
+        the field checks.
+        """
+        registry = get_registry()
+        registry.counter(
+            "repro_health_checks_total", "health checks executed"
+        ).inc()
+        found: list[HealthEvent] = []
+
+        for name in mass_names:
+            value = values.get(name)
+            if value is None or not np.isfinite(value):
+                continue
+            ref = self._mass_ref.setdefault(name, float(value))
+            if self.conservation_tol is None:
+                continue
+            drift = abs(float(value) - ref) / max(abs(ref), 1e-300)
+            if drift > self.conservation_tol:
+                found.append(
+                    HealthEvent(
+                        time_step, "conservation", name,
+                        f"relative drift {drift:.3e} from initial "
+                        f"{ref:.17g} (tol {self.conservation_tol:.1e})",
+                        drift, where,
+                    )
+                )
+
+        if energy_name is not None:
+            value = values.get(energy_name)
+            if value is not None and np.isfinite(value):
+                prev = self._energy_prev
+                self._energy_prev = float(value)
+                if prev is not None:
+                    allowed = self.energy_decay_slack * max(abs(prev), 1.0)
+                    rise = float(value) - prev
+                    if rise > allowed:
+                        found.append(
+                            HealthEvent(
+                                time_step, "energy_decay", energy_name,
+                                f"dΨ/dt > 0: {prev:.17g} → {value:.17g} "
+                                f"(+{rise:.3e})",
+                                rise, where,
+                            )
+                        )
+
+        self.n_checks += 1
+        self._record(found, registry)
+        return found
+
+    def _record(self, found: list[HealthEvent], registry) -> None:
+        """Shared event handling: store, count, log, apply the policy."""
+        if not found:
+            return
+        self.events.extend(found)
+        for event in found:
+            registry.counter(
+                "repro_health_events_total",
+                "failed health checks",
+                check=event.check,
+                field=event.field,
+            ).inc()
+            if self.policy in ("warn", "raise"):
+                _log.warning(
+                    kv(
+                        "health_check_failed",
+                        step=event.time_step,
+                        check=event.check,
+                        field=event.field,
+                        detail=event.message,
+                        where=event.where,
+                    )
+                )
+        if self.policy == "raise":
+            raise HealthError(found)
 
     # -- reporting -------------------------------------------------------------
 

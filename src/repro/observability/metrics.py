@@ -177,14 +177,16 @@ class MetricsRegistry:
                 inst = family.instruments[key] = factory(name, key)
             return inst
 
-    def counter(self, name: str, help: str = "", **labels) -> Counter:
+    # metric name/help are positional-only so that "name" and "help" remain
+    # usable as label keys (e.g. repro_diagnostic{name="free_energy"})
+    def counter(self, name: str, help: str = "", /, **labels) -> Counter:
         return self._get("counter", name, help, labels, Counter)
 
-    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+    def gauge(self, name: str, help: str = "", /, **labels) -> Gauge:
         return self._get("gauge", name, help, labels, Gauge)
 
     def histogram(
-        self, name: str, help: str = "", buckets=DEFAULT_BUCKETS, **labels
+        self, name: str, help: str = "", /, buckets=DEFAULT_BUCKETS, **labels
     ) -> Histogram:
         return self._get(
             "histogram", name, help, labels,
@@ -193,7 +195,7 @@ class MetricsRegistry:
 
     # -- access ----------------------------------------------------------------
 
-    def get(self, name: str, **labels):
+    def get(self, name: str, /, **labels):
         """Existing instrument or ``None`` (never creates)."""
         family = self._families.get(name)
         if family is None:
@@ -266,11 +268,30 @@ class MetricsRegistry:
         return str(path)
 
 
+# the label block must be matched with a quote-aware pattern: a naive
+# [^}]* stops at a '}' INSIDE a quoted label value (legal per the
+# exposition format, e.g. kernel="mu{0}")
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>[^\s]+)\s*$"
+    r"(?:\{(?P<labels>(?:[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\",?)*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
 )
 _LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_UNESCAPE_RE = re.compile(r"\\(.)")
+_UNESCAPE_MAP = {"n": "\n", '"': '"', "\\": "\\"}
+
+
+def _unescape(value: str) -> str:
+    """Single-pass inverse of :func:`_escape`.
+
+    Sequential ``str.replace`` passes are wrong here: the escaped form of a
+    literal backslash followed by 'n' (``\\\\n``) would be turned into a
+    newline by a later pass.  Each escape sequence must be decoded exactly
+    once, left to right; unknown escapes are kept verbatim.
+    """
+    return _UNESCAPE_RE.sub(
+        lambda m: _UNESCAPE_MAP.get(m.group(1), "\\" + m.group(1)), value
+    )
 
 
 def parse_prometheus(text: str) -> dict:
@@ -312,7 +333,7 @@ def parse_prometheus(text: str) -> dict:
             if not m:
                 raise ValueError(f"unparseable metrics line: {raw!r}")
             labels = {
-                k: v.replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+                k: _unescape(v)
                 for k, v in _LABEL_PAIR_RE.findall(m.group("labels") or "")
             }
             value = float(m.group("value"))

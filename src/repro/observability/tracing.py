@@ -98,6 +98,7 @@ class Tracer:
         self.enabled = enabled
         self.rank = rank
         self._spans: list[Span] = []
+        self._counters: list[tuple[str, str, float, dict]] = []
         self._lock = threading.Lock()
         self._state = _ThreadState()
         self._tids: dict[int, int] = {}
@@ -190,9 +191,35 @@ class Tracer:
             self._spans.append(sp)
         return sp
 
+    def add_counter(
+        self,
+        name: str,
+        values: dict[str, float],
+        category: str = "",
+        ts: float | None = None,
+    ) -> None:
+        """Record a counter sample (Chrome trace ``ph: "C"`` event).
+
+        Counter events render as stacked value tracks in Perfetto — the
+        diagnostics series uses them to plot free energy / solute mass /
+        interface area against the kernel timeline.  *ts* is a
+        ``perf_counter`` timestamp (defaults to now).
+        """
+        if not self.enabled:
+            return
+        sample = (
+            name,
+            category,
+            perf_counter() if ts is None else float(ts),
+            {k: float(v) for k, v in values.items()},
+        )
+        with self._lock:
+            self._counters.append(sample)
+
     def reset(self) -> None:
         with self._lock:
             self._spans.clear()
+            self._counters.clear()
             self._tids.clear()
         self._state = _ThreadState()
         self._epoch = perf_counter()
@@ -202,6 +229,11 @@ class Tracer:
     @property
     def spans(self) -> list[Span]:
         return list(self._spans)
+
+    @property
+    def counters(self) -> list[tuple[str, str, float, dict]]:
+        """Recorded counter samples as ``(name, category, ts, values)``."""
+        return list(self._counters)
 
     def finished_spans(self) -> list[Span]:
         return [s for s in self._spans if s.end is not None]
@@ -284,8 +316,21 @@ class Tracer:
                 }
             )
         spans.sort(key=lambda e: (e["tid"], e["ts"], -e["dur"]))
+        counters = [
+            {
+                "name": name,
+                "cat": category or "counter",
+                "ph": "C",
+                "ts": round((ts - t0) * 1e6, 3),
+                "pid": pid,
+                "tid": 0,
+                "args": values,
+            }
+            for name, category, ts, values in self._counters
+        ]
+        counters.sort(key=lambda e: (e["name"], e["ts"]))
         return {
-            "traceEvents": events + spans,
+            "traceEvents": events + spans + counters,
             "displayTimeUnit": "ms",
             "otherData": {"producer": "repro.observability"},
         }

@@ -21,6 +21,7 @@ import numpy as np
 from time import perf_counter
 
 from ..backends.numpy_backend import compile_numpy_kernel
+from ..diagnostics.suite import merge_partials
 from ..observability.distributed import CommMatrix
 from ..observability.health import HealthMonitor
 from ..observability.log import get_logger, kv
@@ -100,6 +101,8 @@ class DistributedSolver:
         self.profiler = SolverProfiler()
         self.comm_matrix = CommMatrix(n_ranks)
         self.health = health
+        self._diag_suite = None
+        self._diag_series = None
         self._cells_per_block = {
             coords: int(np.prod(block.interior_shape))
             for coords, block in self.blocks.items()
@@ -197,11 +200,96 @@ class DistributedSolver:
                     )
                 self.time_step += 1
                 self.time += self.params.dt
+                # invariants run BEFORE the field watchdogs — see
+                # SingleBlockSolver.step for the ordering rationale
+                if (
+                    self._diag_suite is not None
+                    and self.time_step % self._diag_every == 0
+                ):
+                    self._evaluate_diagnostics()
                 if self.health is not None and self.health.due(self.time_step):
                     self._check_health()
             dt = perf_counter() - t0
             self.step_seconds += dt
             self._step_latency.observe(dt)
+
+    # -- in-situ physics diagnostics ------------------------------------------
+
+    def enable_diagnostics(
+        self,
+        suite=None,
+        every: int = 1,
+        csv_path=None,
+        check_invariants: bool = True,
+    ):
+        """Evaluate a :class:`~repro.diagnostics.DiagnosticsSuite` in-situ.
+
+        Collective: every rank evaluates its own blocks' partial sums, the
+        partials are allgathered and merged in sorted block-coordinate
+        order (a fixed sequence of scalar adds), so every rank — and a
+        single-process run over the same forest — computes the bit-identical
+        global series.  CSV and metrics gauges are emitted on rank 0 only;
+        invariant checks run on all ranks (same merged values) so a
+        policy-"raise" monitor aborts every rank.
+        """
+        from ..diagnostics import DiagnosticsSeries, DiagnosticsSuite, invariant_names
+
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        if suite is None:
+            suite = DiagnosticsSuite.for_model(self.model)
+        self._diag_suite = suite
+        self._diag_every = int(every)
+        self._diag_series = DiagnosticsSeries(
+            suite.names,
+            csv_path=csv_path if self.rank == 0 else None,
+            metrics=self.rank == 0,
+            trace=True,
+        )
+        if check_invariants:
+            self._diag_mass, self._diag_energy = invariant_names(
+                suite.names, self.params
+            )
+        else:
+            self._diag_mass, self._diag_energy = (), None
+        self._evaluate_diagnostics()
+        return self._diag_series
+
+    @property
+    def diagnostics(self):
+        """The live :class:`DiagnosticsSeries`, or ``None`` when disabled."""
+        return self._diag_series
+
+    def _evaluate_diagnostics(self) -> dict:
+        suite = self._diag_suite
+        local: dict[tuple, tuple[dict, int]] = {}
+        for coords, block in self.blocks.items():
+            local[coords] = suite.partial(
+                block.arrays,
+                ghost_layers=self.ghost_layers,
+                block_offset=block.cell_offset,
+                t=self.time,
+                time_step=self.time_step,
+                seed=self.seed,
+            )
+        if self.comm is not None:
+            per_block: dict[tuple, tuple[dict, int]] = {}
+            for part in self.comm.allgather(local):
+                per_block.update(part)
+        else:
+            per_block = local
+        totals, n_cells = merge_partials(per_block, tuple(suite.names))
+        values = suite.finalize(totals, n_cells)
+        self._diag_series.record(self.time_step, self.time, values)
+        if self.health is not None and (self._diag_mass or self._diag_energy):
+            self.health.check_diagnostics(
+                values,
+                self.time_step,
+                mass_names=self._diag_mass,
+                energy_name=self._diag_energy,
+                where=f"rank {self.rank}",
+            )
+        return values
 
     def _check_health(self) -> None:
         gl = self.ghost_layers

@@ -77,6 +77,8 @@ class SingleBlockSolver:
         self.health = health
         self._cells_per_sweep = int(np.prod(self.shape))
         self._callbacks: list[tuple[int, object]] = []
+        self._diag_suite = None
+        self._diag_series = None
         self._step_latency = get_registry().histogram(
             "repro_step_seconds", "wall time per solver time step", solver="single"
         )
@@ -177,6 +179,77 @@ class SingleBlockSolver:
         self.time_step = data["time_step"]
         _log.info(kv("checkpoint_loaded", path=path, step=self.time_step))
 
+    # -- in-situ physics diagnostics ------------------------------------------
+
+    def enable_diagnostics(
+        self,
+        suite=None,
+        every: int = 1,
+        csv_path=None,
+        tile_shape: tuple[int, ...] | None = None,
+        check_invariants: bool = True,
+        metrics: bool = True,
+        trace: bool = True,
+    ):
+        """Evaluate a :class:`~repro.diagnostics.DiagnosticsSuite` in-situ.
+
+        Every *every* steps (and once immediately, establishing the
+        conservation reference) the suite's reduction kernel runs on the
+        live fields; rows stream into the returned
+        :class:`~repro.diagnostics.DiagnosticsSeries` (CSV/gauges/trace
+        counters).  With *check_invariants* and a :class:`HealthMonitor`
+        attached, solute-mass drift and free-energy decay violations go
+        through the monitor's policy *before* the per-field watchdogs run.
+        *tile_shape* selects the fixed-order tiled sum — pass the
+        distributed run's block shape to reproduce its series bit for bit.
+        """
+        from ..diagnostics import DiagnosticsSeries, DiagnosticsSuite, invariant_names
+
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        if suite is None:
+            suite = DiagnosticsSuite.for_model(self.model)
+        self._diag_suite = suite
+        self._diag_every = int(every)
+        self._diag_tiles = tuple(tile_shape) if tile_shape else None
+        self._diag_series = DiagnosticsSeries(
+            suite.names, csv_path=csv_path, metrics=metrics, trace=trace
+        )
+        if check_invariants:
+            self._diag_mass, self._diag_energy = invariant_names(
+                suite.names, self.params
+            )
+        else:
+            self._diag_mass, self._diag_energy = (), None
+        self._evaluate_diagnostics()
+        return self._diag_series
+
+    @property
+    def diagnostics(self):
+        """The live :class:`DiagnosticsSeries`, or ``None`` when disabled."""
+        return self._diag_series
+
+    def _evaluate_diagnostics(self) -> dict:
+        suite = self._diag_suite
+        raw, n_cells = suite.partial(
+            self.arrays,
+            ghost_layers=self.ghost_layers,
+            tile_shape=self._diag_tiles,
+            t=self.time,
+            time_step=self.time_step,
+            seed=self.seed,
+        )
+        values = suite.finalize(raw, n_cells)
+        self._diag_series.record(self.time_step, self.time, values)
+        if self.health is not None and (self._diag_mass or self._diag_energy):
+            self.health.check_diagnostics(
+                values,
+                self.time_step,
+                mass_names=self._diag_mass,
+                energy_name=self._diag_energy,
+            )
+        return values
+
     def step(self, n_steps: int = 1) -> None:
         """Advance the solution by *n_steps* explicit Euler steps."""
         tracer = get_tracer()
@@ -200,6 +273,14 @@ class SingleBlockSolver:
                 )
                 self.time_step += 1
                 self.time += self.params.dt
+                # invariants run BEFORE the field watchdogs: a too-large dt
+                # trips the named energy_decay check while values are still
+                # finite, not the NaN alarm steps later
+                if (
+                    self._diag_suite is not None
+                    and self.time_step % self._diag_every == 0
+                ):
+                    self._evaluate_diagnostics()
                 if self.health is not None and self.health.due(self.time_step):
                     self.health.check(
                         {"phi": self.phi, "mu": self.mu},

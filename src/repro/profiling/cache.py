@@ -78,6 +78,7 @@ def kernel_fingerprint(kernel: Kernel) -> str:
     put(str(kernel.dim))
     put(str(kernel.ghost_layers))
     put(str(kernel.loop_order))
+    put(str(getattr(kernel, "reductions", ())))
     for a in kernel.ac.all_assignments:
         put(sp.srepr(a.lhs))
         put(sp.srepr(a.rhs))

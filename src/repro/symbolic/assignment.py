@@ -60,7 +60,10 @@ class AssignmentCollection:
 
     * every temporary is assigned at most once,
     * temporaries are defined before use,
-    * main assignments store to field accesses.
+    * main assignments store to field accesses — unless their lhs name is
+      listed in ``reduction_symbols``, which marks it as a *reduction
+      output*: a scalar accumulated (summed) over the iteration space
+      instead of stored per cell.
     """
 
     def __init__(
@@ -68,10 +71,18 @@ class AssignmentCollection:
         main_assignments: Sequence[Assignment],
         subexpressions: Sequence[Assignment] = (),
         name: str = "kernel",
+        reduction_symbols: Iterable[str] = (),
     ):
         self.main_assignments = list(main_assignments)
         self.subexpressions = list(subexpressions)
         self.name = name
+        # reduction outputs are tracked by *name* so the marking survives
+        # rhs transformations that rebuild symbols (lhs objects are kept
+        # by transform_rhs, but names are the stable identity here)
+        self.reduction_symbols = frozenset(
+            s.name if isinstance(s, sp.Symbol) else str(s)
+            for s in reduction_symbols
+        )
 
     # -- construction helpers ------------------------------------------------
 
@@ -88,6 +99,7 @@ class AssignmentCollection:
             list(self.main_assignments if main_assignments is None else main_assignments),
             list(self.subexpressions if subexpressions is None else subexpressions),
             name=self.name,
+            reduction_symbols=self.reduction_symbols,
         )
 
     # -- inspection ------------------------------------------------------------
@@ -171,8 +183,21 @@ class AssignmentCollection:
                 raise ValueError(f"{a.lhs} uses temporaries before definition: {undefined}")
             seen.add(a.lhs)
         for a in self.main_assignments:
-            if not a.is_field_store:
+            if not a.is_field_store and a.lhs.name not in self.reduction_symbols:
                 raise ValueError(f"main assignment must store to a field: {a}")
+            if a.is_field_store and a.lhs.name in self.reduction_symbols:
+                raise ValueError(
+                    f"reduction output {a.lhs} must not be a field store"
+                )
+
+    @property
+    def reduction_outputs(self) -> list[Assignment]:
+        """Main assignments accumulated as scalar sums (in program order)."""
+        return [
+            a
+            for a in self.main_assignments
+            if not a.is_field_store and a.lhs.name in self.reduction_symbols
+        ]
 
     # -- transformations --------------------------------------------------------
 

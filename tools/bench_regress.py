@@ -71,6 +71,12 @@ def cmd_record(args) -> int:
 
 
 def load_baseline(path) -> dict:
+    if not Path(path).exists():
+        raise BenchSchemaError(
+            f"{path}: baseline does not exist; record one first with "
+            f"`bench_regress record <bench.json> --baseline {path}` "
+            f"(or pass --record-if-missing to do so now)"
+        )
     try:
         with open(path) as fh:
             doc = json.load(fh)
@@ -78,7 +84,7 @@ def load_baseline(path) -> dict:
         raise BenchSchemaError(f"{path}: unreadable baseline ({exc})") from exc
     if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
         raise BenchSchemaError(
-            f"{path}: schema is {doc.get('schema')!r} "
+            f"{path}: schema is {doc.get('schema')!r}; "
             f"if it is a raw {BENCH_SCHEMA} document, run `record` first"
         )
     if not isinstance(doc.get("records"), list):
@@ -88,6 +94,9 @@ def load_baseline(path) -> dict:
 
 def cmd_compare(args) -> int:
     doc = load_bench_document(args.bench)
+    if getattr(args, "record_if_missing", False) and not Path(args.baseline).exists():
+        print(f"baseline {args.baseline} missing; recording current run")
+        return cmd_record(args)
     baseline = load_baseline(args.baseline)
     if baseline.get("suite") not in (None, doc["suite"]):
         raise BenchSchemaError(
@@ -105,8 +114,13 @@ def cmd_compare(args) -> int:
         if cur_rec is None:
             regressions.append(f"{name}: record missing from current run")
             continue
-        for metric, base_val in sorted(base_rec["metrics"].items()):
-            cur_val = cur_rec["metrics"].get(metric)
+        base_metrics = base_rec.get("metrics")
+        if not isinstance(base_metrics, dict):
+            raise BenchSchemaError(
+                f"{args.baseline}: record {name!r} has no metrics mapping"
+            )
+        for metric, base_val in sorted(base_metrics.items()):
+            cur_val = cur_rec.get("metrics", {}).get(metric)
             if cur_val is None:
                 regressions.append(f"{name}: metric {metric!r} missing")
                 continue
@@ -161,6 +175,11 @@ def main(argv=None) -> int:
     cmp_.add_argument(
         "--warn-only", action="store_true",
         help="print regressions but exit 0 (schema errors still exit 2)",
+    )
+    cmp_.add_argument(
+        "--record-if-missing", action="store_true",
+        help="when the baseline file does not exist, record the current "
+             "run as the baseline and exit 0 instead of failing",
     )
     cmp_.add_argument("--verbose", action="store_true",
                       help="also print metrics within tolerance")

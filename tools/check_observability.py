@@ -3,17 +3,21 @@
 
 Usage::
 
-    python tools/check_observability.py trace.json metrics.prom
+    python tools/check_observability.py trace.json metrics.prom [diagnostics.csv]
 
 Checks that
 
 * ``trace.json`` is valid Chrome-trace JSON with a non-empty
-  ``traceEvents`` list, every event carries the required keys, and the
+  ``traceEvents`` list, every event carries the required keys (duration
+  ``"X"`` spans and counter ``"C"`` tracks are both accepted), and the
   span categories cover the paper's five pipeline layers (functional,
   pde, discretization, simplification, ir, backend is folded into the
   generation layer) plus the runtime loop;
 * ``metrics.prom`` parses as Prometheus text format 0.0.4 and contains
-  the core kernel/cache/throughput families.
+  the core kernel/cache/throughput families;
+* ``diagnostics.csv`` (optional) is a physics-diagnostics time series
+  with a monotonically non-increasing ``free_energy`` column — the
+  variational-structure invariant for isothermal noise-free runs.
 
 Exits non-zero with a message on the first violation, so it can gate CI.
 """
@@ -37,7 +41,7 @@ REQUIRED_CATEGORIES = {
     "backend",
     "runtime",
 }
-REQUIRED_EVENT_KEYS = {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+REQUIRED_EVENT_KEYS = {"name", "cat", "ph", "ts", "pid", "tid"}
 REQUIRED_FAMILIES = {
     "repro_kernel_cache_misses_total",
     "repro_kernel_mlups",
@@ -72,21 +76,36 @@ def check_trace(path: Path) -> None:
     events = [ev for ev in all_events if ev.get("ph") != "M"]
     if not events:
         fail(f"{path}: no duration events (only metadata)")
+    counters = 0
     for i, ev in enumerate(events):
         missing = REQUIRED_EVENT_KEYS - set(ev)
         if missing:
             fail(f"{path}: event {i} missing keys {sorted(missing)}")
-        if ev["ph"] != "X":
-            fail(f"{path}: event {i} has phase {ev['ph']!r}, expected 'X' or 'M'")
-        if ev["dur"] < 0 or ev["ts"] < 0:
-            fail(f"{path}: event {i} has negative ts/dur")
-    seen = {ev["cat"] for ev in events}
+        if ev["ph"] == "X":
+            if "dur" not in ev:
+                fail(f"{path}: duration event {i} missing 'dur'")
+            if ev["dur"] < 0 or ev["ts"] < 0:
+                fail(f"{path}: event {i} has negative ts/dur")
+        elif ev["ph"] == "C":
+            counters += 1
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                fail(f"{path}: counter event {i} has no args values")
+            if ev["ts"] < 0:
+                fail(f"{path}: counter event {i} has negative ts")
+        else:
+            fail(
+                f"{path}: event {i} has phase {ev['ph']!r}, "
+                f"expected 'X', 'C' or 'M'"
+            )
+    seen = {ev["cat"] for ev in events if ev["ph"] == "X"}
     missing = REQUIRED_CATEGORIES - seen
     if missing:
         fail(f"{path}: span categories missing: {sorted(missing)} (saw {sorted(seen)})")
     print(
         f"check_observability: {path}: {len(events)} events "
-        f"(+{len(meta)} metadata), categories {sorted(seen)}"
+        f"({counters} counters, +{len(meta)} metadata), "
+        f"categories {sorted(seen)}"
     )
 
 
@@ -104,12 +123,46 @@ def check_metrics(path: Path) -> None:
     print(f"check_observability: {path}: {len(parsed)} families, {n_samples} samples")
 
 
+def check_diagnostics(path: Path) -> None:
+    import csv
+
+    try:
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+    except OSError as exc:
+        fail(f"{path}: not readable ({exc})")
+    if not rows:
+        fail(f"{path}: diagnostics CSV has no data rows")
+    if "free_energy" not in rows[0]:
+        fail(
+            f"{path}: no free_energy column "
+            f"(have {sorted(rows[0])})"
+        )
+    try:
+        energy = [float(r["free_energy"]) for r in rows]
+    except ValueError as exc:
+        fail(f"{path}: non-numeric free_energy value ({exc})")
+    for i in range(len(energy) - 1):
+        if not energy[i + 1] <= energy[i]:
+            fail(
+                f"{path}: free energy INCREASED between rows {i} and {i + 1}: "
+                f"{energy[i]:.17g} -> {energy[i + 1]:.17g} "
+                f"(dPsi/dt <= 0 violated)"
+            )
+    print(
+        f"check_observability: {path}: {len(rows)} rows, free energy "
+        f"monotone non-increasing ({energy[0]:.6g} -> {energy[-1]:.6g})"
+    )
+
+
 def main(argv: list[str]) -> None:
-    if len(argv) != 2:
+    if len(argv) not in (2, 3):
         print(__doc__)
         sys.exit(2)
     check_trace(Path(argv[0]))
     check_metrics(Path(argv[1]))
+    if len(argv) == 3:
+        check_diagnostics(Path(argv[2]))
     print("check_observability: OK")
 
 
