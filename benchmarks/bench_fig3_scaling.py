@@ -134,6 +134,101 @@ def test_fig3_middle_weak_scaling_gpu(benchmark, p1_full, p1_split, bench_json):
     benchmark(lambda: cluster.weak_scaling((400, 400, 400), gpus))
 
 
+def test_fig3_overlap_measured_step_times(bench_json):
+    """Executed (not modeled) sync vs overlapped step times on simulated ranks.
+
+    Runs the 2D two-phase binary model over 2 simulated MPI ranks with both
+    step schedules of :class:`~repro.parallel.timeloop.DistributedSolver`
+    and records the measured per-step wall times next to the calibrated
+    :class:`~repro.parallel.comm_model.StepTimeModel` overlap-closure
+    prediction — the executed counterpart of the Fig. 3 communication-hiding
+    claim (§4.3).
+    """
+    from time import perf_counter
+
+    from repro.backends.c_backend import c_compiler_available
+    from repro.parallel import BlockForest, DistributedSolver, run_ranks
+    from repro.pfm import GrandPotentialModel, make_two_phase_binary, planar_front
+
+    backend = "c" if c_compiler_available() else "numpy"
+    global_shape, block_shape = (
+        ((512, 512), (256, 256)) if backend == "c" else ((128, 128), (64, 64))
+    )
+    steps, warmup, repeats, n_ranks = 5, 1, 2, 2
+
+    params = make_two_phase_binary(dim=2)
+    kernels = GrandPotentialModel(params).create_kernels()
+    forest = BlockForest(global_shape, block_shape, periodic=True)
+
+    def init(offset, shape):
+        full = planar_front(
+            global_shape, params.n_phases, 0, 1,
+            position=global_shape[0] / 2, epsilon=params.epsilon,
+        )
+        sl = tuple(slice(o, o + s) for o, s in zip(offset, shape))
+        return full[sl], 0.0
+
+    def measure(overlap):
+        def prog(comm):
+            solver = DistributedSolver(
+                kernels, forest, comm=comm, overlap=overlap, backend=backend
+            )
+            solver.set_state_from(init)
+            solver.step(warmup)
+            best = float("inf")
+            for _ in range(repeats):
+                comm.barrier()
+                t0 = perf_counter()
+                solver.step(steps)
+                comm.barrier()
+                best = min(best, perf_counter() - t0)
+            return best, solver.default_step_model()
+
+        results = run_ranks(n_ranks, prog)
+        return max(r[0] for r in results) / steps, results[0][1]
+
+    sync_s, model = measure(overlap=False)
+    overlap_s, _ = measure(overlap=True)
+    closure = model.overlap_closure(
+        measured_sync_s=sync_s, measured_overlap_s=overlap_s
+    )
+
+    lines = [
+        "Fig. 3 (executed) — communication hiding, 2 simulated ranks",
+        "",
+        f"backend {backend}, domain {'x'.join(map(str, global_shape))}, "
+        f"block {'x'.join(map(str, block_shape))}",
+        "",
+        f"measured step:  sync {sync_s * 1e3:8.3f} ms   "
+        f"overlap {overlap_s * 1e3:8.3f} ms   "
+        f"(gain {closure['measured_gain'] * 100:+.1f}%)",
+        f"predicted step: sync {closure['predicted_sync_s'] * 1e3:8.3f} ms   "
+        f"overlap {closure['predicted_overlap_s'] * 1e3:8.3f} ms   "
+        f"(gain {closure['predicted_gain'] * 100:+.1f}%)",
+        "",
+        "paper: overlapped schedule hides the ghost exchange behind the",
+        "interior sweep; on shared 1-core runners parity within noise is",
+        "the expected outcome (tools/bench_scaling_smoke.py gates the ratio)",
+    ]
+    emit_table("fig3_overlap_measured", lines)
+    bench_json(
+        "scaling", "fig3_overlap_measured",
+        params={
+            "ranks": n_ranks, "backend": backend,
+            "domain": "x".join(map(str, global_shape)),
+            "block": "x".join(map(str, block_shape)), "steps": steps,
+        },
+        step_seconds_sync=sync_s,
+        step_seconds_overlap=overlap_s,
+        predicted_overlap_gain=closure["predicted_gain"],
+    )
+
+    assert sync_s > 0 and overlap_s > 0
+    # perf gating lives in the scaling smoke; this only guards against the
+    # overlapped schedule degenerating outright
+    assert overlap_s < 2.0 * sync_s
+
+
 def test_fig3_right_strong_scaling(benchmark, p1_full, p1_split, bench_json):
     from repro.parallel import ClusterModel, CommOptions, OMNIPATH_FAT_TREE
 

@@ -136,11 +136,18 @@ def _flat_index(idx: tuple[int, ...], shape: tuple[int, ...]) -> int:
     return flat
 
 
+def _c_func_name(kernel_name: str) -> str:
+    """Valid C identifier for a kernel (restricted names contain ':')."""
+    import re
+
+    return "kernel_" + re.sub(r"[^0-9A-Za-z_]", "_", kernel_name)
+
+
 def generate_c_source(kernel: Kernel, func_name: str | None = None) -> str:
     """Emit the complete C99 translation unit for *kernel*."""
     ac = kernel.ac
     dim = kernel.dim
-    func_name = func_name or f"kernel_{kernel.name}"
+    func_name = func_name or _c_func_name(kernel.name)
     fields = kernel.fields
     params = kernel.parameters
 
@@ -151,6 +158,10 @@ def generate_c_source(kernel: Kernel, func_name: str | None = None) -> str:
         args.append(f"double * restrict f_{f.name}")
     args += [f"const int64_t n{d}" for d in range(dim)]
     args.append("const int64_t gl")
+    if kernel.subspace is not None:
+        # subspace range offsets: loop runs [sub_lo, n + sub_hi) per axis
+        args += [f"const int64_t sub_lo{d}" for d in range(dim)]
+        args += [f"const int64_t sub_hi{d}" for d in range(dim)]
     args += [f"const int64_t off{d}" for d in range(dim)]
     args += [f"const double origin{d}" for d in range(dim)]
     args += [f"const double h{d}" for d in range(dim)]
@@ -287,10 +298,14 @@ def _emit_c_loop_nest(kernel, region, assignments, h_expr, dim) -> list[str]:
             acc_names[a.lhs.name] = f"__acc_{i}"
             out.append(f"{indent}    double __acc_{i} = 0.0;")
 
+    restricted = kernel.subspace is not None
     omp_written = False
     for level, axis in enumerate(loop_order, start=1):
         lo, hi = region[axis]
         bound = f"n{axis} + {lo + hi}" if (lo or hi) else f"n{axis}"
+        start = f"sub_lo{axis}" if restricted else "0"
+        if restricted:
+            bound = f"{bound} + sub_hi{axis}"
         if not omp_written:
             clause = (
                 " reduction(+:" + ",".join(acc_names.values()) + ")"
@@ -301,7 +316,9 @@ def _emit_c_loop_nest(kernel, region, assignments, h_expr, dim) -> list[str]:
                 f"{indent}    #pragma omp parallel for schedule(static){clause}"
             )
             omp_written = True
-        out.append(f"{pad}for (int64_t i{axis} = 0; i{axis} < {bound}; ++i{axis}) {{")
+        out.append(
+            f"{pad}for (int64_t i{axis} = {start}; i{axis} < {bound}; ++i{axis}) {{"
+        )
         pad += "    "
         if axis in coords_needed:
             emit_coord_defs(level, pad)
@@ -406,6 +423,10 @@ class CompiledCKernel:
             argv.append(a.ctypes.data_as(ctypes.POINTER(ctypes.c_double)))
         argv += [ctypes.c_int64(n) for n in interior]
         argv.append(ctypes.c_int64(gl))
+        if k.subspace is not None:
+            sub = k.subspace.offsets(tuple(interior))
+            argv += [ctypes.c_int64(lo) for lo, _ in sub]
+            argv += [ctypes.c_int64(hi) for _, hi in sub]
         argv += [ctypes.c_int64(int(block_offset[d])) for d in range(dim)]
         argv += [ctypes.c_double(float(origin[d])) for d in range(dim)]
         for d in range(dim):
@@ -434,7 +455,7 @@ def compile_c_kernel(kernel: Kernel) -> CompiledCKernel:
     from ..observability.log import get_logger, kv
     from ..observability.tracing import get_tracer
 
-    func_name = f"kernel_{kernel.name}"
+    func_name = _c_func_name(kernel.name)
     with get_tracer().span(f"codegen:c:{kernel.name}", category="backend") as span:
         source = generate_c_source(kernel, func_name)
         digest = hashlib.sha256(source.encode()).hexdigest()[:16]

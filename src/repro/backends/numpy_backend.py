@@ -68,11 +68,21 @@ class _Printer(NumPyPrinter):
         return f"_fast_rsqrt({self._print(expr.args[0])})"
 
 
-def _slice_str(offset: int, lo_ext: int, hi_ext: int) -> str:
-    """Runtime-ghost-width slice: ``slice(__gl + a, (b - __gl) or None)``."""
+def _slice_str(offset: int, lo_ext: int, hi_ext: int, axis: int | None = None) -> str:
+    """Runtime-ghost-width slice: ``slice(__gl + a, (b - __gl) or None)``.
+
+    With *axis* set (subspace-restricted kernels) the runtime ``__sub`` tuple
+    shifts both ends: ``__sub[d][0] >= 0`` moves the start inward from the low
+    face, ``__sub[d][1] <= 0`` moves the stop inward from the high face.
+    """
     a = int(offset) - lo_ext
     b = hi_ext + int(offset)
-    return f"slice(__gl + {a}, ({b} - __gl) or None)"
+    if axis is None:
+        return f"slice(__gl + {a}, ({b} - __gl) or None)"
+    return (
+        f"slice(__gl + {a} + __sub[{axis}][0], "
+        f"({b} - __gl + __sub[{axis}][1]) or None)"
+    )
 
 
 def _region_of(assignment: Assignment, dim: int) -> tuple[tuple[int, int], ...]:
@@ -172,6 +182,11 @@ class CompiledNumpyKernel:
             raise ValueError(
                 f"tile_shape only applies to reduction kernels, not {self.name}"
             )
+        if self.kernel.subspace is not None:
+            interior = tuple(int(s) - 2 * gl for s in spatial)
+            sub = self.kernel.subspace.offsets(interior)
+            self._func(arrays, params, tuple(block_offset), tuple(origin), gl, sub)
+            return None
         self._func(arrays, params, tuple(block_offset), tuple(origin), gl)
         return None
 
@@ -214,6 +229,11 @@ def generate_numpy_source(kernel: Kernel) -> str:
         body.append(
             "def _kernel(__arrays, __params, __block_offset, __origin, __gl,"
             " __tiles=None):"
+        )
+    elif kernel.subspace is not None:
+        body.append(
+            "def _kernel(__arrays, __params, __block_offset, __origin, __gl,"
+            " __sub):"
         )
     else:
         body.append(
@@ -270,6 +290,17 @@ def _emit_bindings(
     """
     ac = kernel.ac
     dim = kernel.dim
+    restricted = kernel.subspace is not None
+
+    def sub_axis(d: int) -> int | None:
+        return d if restricted else None
+
+    def sub_lo(d: int) -> str:
+        return f" + __sub[{d}][0]" if restricted else ""
+
+    def sub_extent(d: int) -> str:
+        return f" + __sub[{d}][1] - __sub[{d}][0]" if restricted else ""
+
     sub = _needed_subexpressions(ac, assignments)
     exprs = [a.rhs for a in sub + assignments]
 
@@ -289,7 +320,7 @@ def _emit_bindings(
     # field read bindings
     for acc in sorted(reads, key=lambda a: a.name):
         slices = ", ".join(
-            _slice_str(acc.offsets[d], region[d][0], region[d][1])
+            _slice_str(acc.offsets[d], region[d][0], region[d][1], sub_axis(d))
             for d in range(dim)
         )
         idx = "".join(f", {i}" for i in acc.index)
@@ -302,7 +333,7 @@ def _emit_bindings(
     for c in sorted(coords, key=lambda s: s.axis):
         d = c.axis
         lo, hi = region[d]
-        n_expr = f"__shape[{d}] - 2 * __gl + {lo + hi}"
+        n_expr = f"__shape[{d}] - 2 * __gl + {lo + hi}" + sub_extent(d)
         reshape = ", ".join("-1" if dd == d else "1" for dd in range(dim))
         folded = kernel.folded_value(f"dx_{d}")
         h_expr = repr(float(folded)) if folded is not None else f"__params['dx_{d}']"
@@ -310,7 +341,7 @@ def _emit_bindings(
         lines.append(
             ind
             + f"{c.name}{suffix} = (__origin[{d}] + (np.arange({n_expr}) "
-            + f"+ __block_offset[{d}] - {lo} + 0.5) * {h_expr})"
+            + f"+ __block_offset[{d}] - {lo}{sub_lo(d)} + 0.5) * {h_expr})"
             + (f".reshape({reshape})" if dim > 1 else "")
         )
 
@@ -321,6 +352,7 @@ def _emit_bindings(
         "("
         + ", ".join(
             f"__shape[{d}] - 2 * __gl + {region[d][0] + region[d][1]}"
+            + sub_extent(d)
             for d in range(dim)
         )
         + ("," if dim == 1 else "")
@@ -328,7 +360,10 @@ def _emit_bindings(
     )
     region_offset = (
         "("
-        + ", ".join(f"__block_offset[{d}] - {region[d][0]}" for d in range(dim))
+        + ", ".join(
+            f"__block_offset[{d}] - {region[d][0]}" + sub_lo(d)
+            for d in range(dim)
+        )
         + ("," if dim == 1 else "")
         + ")"
     )
@@ -368,13 +403,17 @@ def _emit_region_block(
     ind: str,
 ) -> list[str]:
     dim = kernel.dim
+    restricted = kernel.subspace is not None
     lines, pr, _ = _emit_bindings(kernel, region, assignments, gid, ind)
 
     # main stores
     for a in assignments:
         lhs: FieldAccess = a.lhs
         slices = ", ".join(
-            _slice_str(lhs.offsets[d], region[d][0], region[d][1])
+            _slice_str(
+                lhs.offsets[d], region[d][0], region[d][1],
+                d if restricted else None,
+            )
             for d in range(dim)
         )
         idx = "".join(f", {i}" for i in lhs.index)

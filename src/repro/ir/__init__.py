@@ -7,8 +7,17 @@ from .approximations import (
     fast_sqrt,
     insert_approximations,
 )
-from .kernel import Kernel, KernelConfig, create_kernel
-from .loops import analytic_axes, choose_loop_order, classify_hoist_levels, hoisted_symbols
+from .kernel import Kernel, KernelConfig, create_kernel, split_interior_frontier
+from .loops import (
+    AxisInterval,
+    IterationSpace,
+    analytic_axes,
+    choose_loop_order,
+    classify_hoist_levels,
+    frontier_spaces,
+    hoisted_symbols,
+    interior_space,
+)
 from .types import DOUBLE, FLOAT, INT64, BasicType, infer_types, kernel_parameters
 
 __all__ = [
@@ -20,6 +29,11 @@ __all__ = [
     "Kernel",
     "KernelConfig",
     "create_kernel",
+    "split_interior_frontier",
+    "AxisInterval",
+    "IterationSpace",
+    "interior_space",
+    "frontier_spaces",
     "analytic_axes",
     "choose_loop_order",
     "classify_hoist_levels",

@@ -9,19 +9,26 @@ representation layer").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass, field as dc_field, replace
 from typing import Mapping
 
 import sympy as sp
 
 from ..simplification.passes import optimize
 from ..symbolic.assignment import AssignmentCollection
-from ..symbolic.field import Field
+from ..symbolic.field import Field, FieldAccess
 from .approximations import insert_approximations
-from .loops import choose_loop_order, classify_hoist_levels, extract_invariant_subexpressions
+from .loops import (
+    IterationSpace,
+    choose_loop_order,
+    classify_hoist_levels,
+    extract_invariant_subexpressions,
+    frontier_spaces,
+    interior_space,
+)
 from .types import BasicType, infer_types, kernel_parameters
 
-__all__ = ["Kernel", "create_kernel", "KernelConfig"]
+__all__ = ["Kernel", "create_kernel", "KernelConfig", "split_interior_frontier"]
 
 
 @dataclass
@@ -50,14 +57,57 @@ class Kernel:
     config: KernelConfig = dc_field(default_factory=KernelConfig)
     #: names of scalar sum-reduction outputs (empty for stencil sweeps)
     reductions: tuple[str, ...] = ()
+    #: optional iteration-space restriction (None = the full interior)
+    subspace: IterationSpace | None = None
 
     @property
     def is_reduction(self) -> bool:
         return bool(self.reductions)
 
     @property
+    def has_staggered_writes(self) -> bool:
+        return any(
+            isinstance(a.lhs, FieldAccess) and a.lhs.field.staggered
+            for a in self.ac.main_assignments
+        )
+
+    def restricted(self, subspace: IterationSpace) -> Kernel:
+        """The same kernel, lowered over *subspace* instead of the full interior.
+
+        The restricted kernel shares assignments, loop order, hoisting and
+        typing with the original — only the loop bounds / slice ranges the
+        backends emit change, so each cell it does visit computes bit-identical
+        values (Philox counters and coordinates stay global).
+        """
+        if subspace.dim != self.dim:
+            raise ValueError(
+                f"iteration space {subspace.name!r} is {subspace.dim}D, "
+                f"kernel {self.name!r} is {self.dim}D"
+            )
+        if self.is_reduction:
+            raise ValueError(
+                f"reduction kernel {self.name!r} cannot be restricted: partial "
+                "sums over subspaces would change the fixed summation order"
+            )
+        if self.has_staggered_writes:
+            raise ValueError(
+                f"kernel {self.name!r} has staggered (flux) writes whose "
+                "per-assignment regions cannot be composed with an iteration "
+                "subspace; use the 'full' kernel variants for overlap"
+            )
+        if self.subspace is not None:
+            raise ValueError(f"kernel {self.name!r} is already restricted")
+        return replace(self, name=f"{self.name}:{subspace.name}", subspace=subspace)
+
+    @property
     def parameters(self) -> list[sp.Symbol]:
-        return kernel_parameters(self.ac)
+        # memoized: backends enumerate the parameters on every kernel call,
+        # and the sympy free-symbol traversal would otherwise dominate the
+        # per-call cost of small (e.g. frontier-restricted) kernels
+        cached = self.__dict__.get("_parameters")
+        if cached is None:
+            cached = self.__dict__["_parameters"] = kernel_parameters(self.ac)
+        return cached
 
     @property
     def coordinate_axes(self) -> set[int]:
@@ -80,7 +130,12 @@ class Kernel:
 
     @property
     def fields(self) -> list[Field]:
-        return sorted(self.ac.fields, key=lambda f: f.name)
+        cached = self.__dict__.get("_fields")
+        if cached is None:
+            cached = self.__dict__["_fields"] = sorted(
+                self.ac.fields, key=lambda f: f.name
+            )
+        return cached
 
     @property
     def hoisted(self) -> set[sp.Symbol]:
@@ -156,3 +211,23 @@ def create_kernel(
                 loop_order=str(kernel.loop_order),
             )
         return kernel
+
+
+def split_interior_frontier(
+    kernel: Kernel, margin: int | None = None
+) -> tuple[Kernel, tuple[Kernel, ...]]:
+    """Split *kernel* into an interior variant and per-face frontier variants.
+
+    *margin* defaults to the kernel's stencil reach (``kernel.ghost_layers``):
+    a cell at distance ≥ reach from every block face reads no ghost data, so
+    the interior variant can run while a ghost exchange is in flight; the
+    frontier variants sweep the remaining shell once the exchange finished.
+    Interior ∪ frontiers tiles the block exactly once.
+    """
+    m = kernel.ghost_layers if margin is None else int(margin)
+    m = max(m, 1)
+    interior = kernel.restricted(interior_space(kernel.dim, m))
+    frontiers = tuple(
+        kernel.restricted(space) for space in frontier_spaces(kernel.dim, m)
+    )
+    return interior, frontiers

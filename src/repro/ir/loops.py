@@ -11,6 +11,8 @@ of the inner loops".
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import sympy as sp
 
 from ..symbolic.assignment import Assignment, AssignmentCollection
@@ -19,12 +21,139 @@ from ..symbolic.field import FieldAccess
 from ..symbolic.random import RandomValue
 
 __all__ = [
+    "AxisInterval",
+    "IterationSpace",
+    "interior_space",
+    "frontier_spaces",
     "choose_loop_order",
     "classify_hoist_levels",
     "extract_invariant_subexpressions",
     "hoisted_symbols",
     "analytic_axes",
 ]
+
+
+@dataclass(frozen=True)
+class AxisInterval:
+    """Half-open interval of interior cells along one axis.
+
+    Endpoints are expressed relative to either end of the (runtime-sized)
+    interior extent ``n``: an endpoint with ``*_from_end`` counts from the
+    upper end (``value + n``), otherwise from the lower end.  The full axis
+    is ``AxisInterval(0, 0, False, True)`` → ``[0, n)``; an interior band of
+    margin ``m`` is ``AxisInterval(m, -m)`` → ``[m, n - m)``; the low face is
+    ``AxisInterval(0, m, False, False)`` → ``[0, m)``; the high face is
+    ``AxisInterval(-m, 0, True, True)`` → ``[n - m, n)``.
+    """
+
+    start: int
+    stop: int
+    start_from_end: bool = False
+    stop_from_end: bool = True
+
+    def concrete(self, n: int) -> tuple[int, int]:
+        """Resolve to absolute ``(lo, hi)`` cell indices for interior size *n*."""
+        lo = self.start + (n if self.start_from_end else 0)
+        hi = self.stop + (n if self.stop_from_end else 0)
+        if not (0 <= lo <= hi <= n):
+            raise ValueError(
+                f"interval {self} is empty or out of bounds for extent {n} "
+                f"(resolved to [{lo}, {hi})) — block too small for this margin"
+            )
+        return lo, hi
+
+    @property
+    def is_full(self) -> bool:
+        return (self.start, self.stop, self.start_from_end, self.stop_from_end) == (
+            0, 0, False, True,
+        )
+
+
+FULL_AXIS = AxisInterval(0, 0, False, True)
+
+
+@dataclass(frozen=True)
+class IterationSpace:
+    """A rectangular subspace of a kernel's interior iteration domain.
+
+    The subspace is a product of per-axis :class:`AxisInterval`\\ s, resolved
+    against the runtime interior shape by the backends (ranged loop bounds in
+    C, adjusted slices in numpy).  Ghost layers are *not* part of the space:
+    index 0 is the first interior cell, exactly as in the unrestricted kernel,
+    so Philox counters, coordinates and analytic terms are unchanged — a
+    restricted kernel computes bit-identical values on its subset of cells.
+    """
+
+    name: str
+    intervals: tuple[AxisInterval, ...]
+
+    @property
+    def dim(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def is_full(self) -> bool:
+        return all(iv.is_full for iv in self.intervals)
+
+    def concrete(self, interior_shape: tuple[int, ...]) -> tuple[tuple[int, int], ...]:
+        """Absolute per-axis ``(lo, hi)`` interior index ranges."""
+        if len(interior_shape) != self.dim:
+            raise ValueError(
+                f"iteration space {self.name!r} is {self.dim}D but the block "
+                f"interior is {len(interior_shape)}D"
+            )
+        return tuple(iv.concrete(n) for iv, n in zip(self.intervals, interior_shape))
+
+    def offsets(self, interior_shape: tuple[int, ...]) -> tuple[tuple[int, int], ...]:
+        """Per-axis ``(lo, hi - n)`` offsets from the full range ``[0, n)``.
+
+        This is the form the backends consume: the low offset is added to the
+        loop start / slice start, the (non-positive) high offset to the loop
+        bound / slice stop.
+        """
+        conc = self.concrete(interior_shape)
+        return tuple((lo, hi - n) for (lo, hi), n in zip(conc, interior_shape))
+
+    @classmethod
+    def full(cls, dim: int) -> IterationSpace:
+        return cls("full", (FULL_AXIS,) * dim)
+
+
+def interior_space(dim: int, margin: int) -> IterationSpace:
+    """Cells at distance ≥ *margin* from every block face.
+
+    A kernel with stencil reach *margin* restricted to this space never reads
+    ghost cells, so it can run while a ghost exchange is still in flight.
+    """
+    if margin < 1:
+        raise ValueError(f"interior margin must be >= 1, got {margin}")
+    return IterationSpace("interior", (AxisInterval(margin, -margin),) * dim)
+
+
+def frontier_spaces(dim: int, margin: int) -> tuple[IterationSpace, ...]:
+    """Onion decomposition of the *margin*-wide shell around the interior.
+
+    For axis ``a`` the low/high face slabs span the face band on axis ``a``,
+    the already-covered interior band on every axis ``< a`` and the full
+    extent on every axis ``> a``, so interior ∪ frontiers tiles the block
+    exactly once (no cell computed twice, none missed).
+    """
+    if margin < 1:
+        raise ValueError(f"frontier margin must be >= 1, got {margin}")
+    spaces: list[IterationSpace] = []
+    for axis in range(dim):
+        for side, label, face in (
+            (-1, "lo", AxisInterval(0, margin, False, False)),
+            (+1, "hi", AxisInterval(-margin, 0, True, True)),
+        ):
+            intervals = tuple(
+                AxisInterval(margin, -margin) if d < axis
+                else face if d == axis
+                else FULL_AXIS
+                for d in range(dim)
+            )
+            spaces.append(IterationSpace(f"frontier_a{axis}{label}", intervals))
+    return tuple(spaces)
 
 
 def analytic_axes(ac: AssignmentCollection) -> set[int]:

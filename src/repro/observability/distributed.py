@@ -48,6 +48,7 @@ __all__ = [
     "imbalance_factor",
     "comm_closure_rows",
     "comm_closure_report",
+    "overlap_closure_report",
 ]
 
 #: shade ramp for the heatmap-style text rendering of :meth:`CommMatrix.render`
@@ -322,8 +323,12 @@ def comm_closure_rows(step_model, profiler, steps: int, nodes: int = 1) -> list[
     total_measured = total_wait = total_copy = 0.0
     for field in fields:
         rec = profiler.records[f"exchange:{field}"]
+        # synchronous exchanges time the blocking phase as ":deliver";
+        # the async start/finish exchange times it as ":wait"
         wait = getattr(
             profiler.records.get(f"exchange:{field}:deliver"), "seconds", 0.0
+        ) + getattr(
+            profiler.records.get(f"exchange:{field}:wait"), "seconds", 0.0
         )
         copy = getattr(
             profiler.records.get(f"exchange:{field}:pack"), "seconds", 0.0
@@ -398,4 +403,45 @@ def comm_closure_report(
         "(the model describes a cluster interconnect; off-cluster the ratio "
         "is a calibration factor, as in the ECM kernel closure)"
     )
+    return "\n".join(lines)
+
+
+def overlap_closure_report(
+    step_model,
+    measured_step_s: float | None = None,
+    mode: str = "sync",
+    nodes: int = 1,
+    title: str = "communication-hiding closure (predicted vs measured step time)",
+) -> str:
+    """Predicted sync vs overlapped step time, joined with a measured run.
+
+    *mode* names the schedule that produced *measured_step_s*
+    (``"sync"`` or ``"overlap"``); the measured value is compared against
+    the matching prediction of
+    :meth:`repro.parallel.comm_model.StepTimeModel.overlap_closure`.
+    """
+    from ..perfmodel.report import report_header
+
+    lines = report_header(title)
+    if step_model is None:
+        lines.append("(no step model calibrated; overlap closure unavailable)")
+        return "\n".join(lines)
+    closure = step_model.overlap_closure(
+        nodes=nodes,
+        measured_sync_s=measured_step_s if mode == "sync" else None,
+        measured_overlap_s=measured_step_s if mode == "overlap" else None,
+    )
+    lines.append(
+        f"   predicted step: sync {closure['predicted_sync_s'] * 1e3:.3f} ms, "
+        f"overlapped {closure['predicted_overlap_s'] * 1e3:.3f} ms "
+        f"(gain {closure['predicted_gain'] * 100.0:.1f}%)"
+    )
+    if measured_step_s is not None:
+        ratio = closure.get("sync_ratio" if mode == "sync" else "overlap_ratio")
+        lines.append(
+            f"   measured step ({mode}): {measured_step_s * 1e3:.3f} ms"
+            + (f", measured/predicted {ratio:.3f}" if ratio is not None else "")
+        )
+    else:
+        lines.append("   (no measured step time yet)")
     return "\n".join(lines)

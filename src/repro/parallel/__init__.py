@@ -10,7 +10,7 @@ from .comm_model import (
     NetworkModel,
     StepTimeModel,
 )
-from .ghostlayer import communication_volume_bytes, exchange_field
+from .ghostlayer import GhostExchange, communication_volume_bytes, exchange_field
 from .mpi_adapter import MPI4PyComm, fold_tag, mpi4py_available
 from .mpi_sim import RankError, Request, SimComm, run_ranks
 from .timeloop import DistributedSolver
@@ -34,6 +34,7 @@ __all__ = [
     "StepTimeModel",
     "communication_volume_bytes",
     "exchange_field",
+    "GhostExchange",
     "MPI4PyComm",
     "fold_tag",
     "mpi4py_available",

@@ -86,9 +86,13 @@ def fill_ghosts(
                 _axis_slice(arr, axis, slice(gl, 2 * gl))
             ]
         elif m == NEUMANN:
-            edge_lo = arr[_axis_slice(arr, axis, slice(gl, gl + 1))]
-            edge_hi = arr[_axis_slice(arr, axis, slice(n - gl - 1, n - gl))]
-            arr[_axis_slice(arr, axis, slice(0, gl))] = edge_lo
-            arr[_axis_slice(arr, axis, slice(n - gl, n))] = edge_hi
+            # zero-gradient via mirroring: ghost layer `layer` mirrors
+            # interior layer `2gl-1-layer`, matching the DirichletValue
+            # scheme (and the block-level wall fill) for every ghost width;
+            # for gl=1 this reduces to replicating the edge layer
+            lo_src = arr[_axis_slice(arr, axis, slice(gl, 2 * gl))]
+            hi_src = arr[_axis_slice(arr, axis, slice(n - 2 * gl, n - gl))]
+            arr[_axis_slice(arr, axis, slice(0, gl))] = np.flip(lo_src, axis=axis)
+            arr[_axis_slice(arr, axis, slice(n - gl, n))] = np.flip(hi_src, axis=axis)
         else:
             raise ValueError(f"unknown boundary mode {m!r}")

@@ -15,7 +15,7 @@ Models one ghost-layer exchange per time step per rank:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -158,3 +158,46 @@ class StepTimeModel:
 
     def parallel_efficiency(self, nodes: int = 1) -> float:
         return self.compute_time_s() / self.step_time_s(nodes)
+
+    def with_overlap(self, overlap: bool) -> "StepTimeModel":
+        """Copy of the model with communication hiding switched on/off."""
+        return replace(self, options=replace(self.options, overlap=overlap))
+
+    def overlap_closure(
+        self,
+        nodes: int = 1,
+        measured_sync_s: float | None = None,
+        measured_overlap_s: float | None = None,
+    ) -> dict:
+        """Predicted vs measured benefit of communication hiding.
+
+        Returns a closure dict pairing the model's synchronous and
+        overlapped step-time predictions with (optionally) measured step
+        times from the two schedules of :class:`~repro.parallel.timeloop.
+        DistributedSolver` (``overlap=False`` / ``overlap=True``).  The
+        predicted gain is the fraction of the synchronous step the model
+        expects overlap to hide; ``*_ratio`` entries report measured/model
+        so a miscalibrated model is visible at a glance.
+        """
+        sync = self.with_overlap(False)
+        over = self.with_overlap(True)
+        pred_sync = sync.step_time_s(nodes)
+        pred_over = over.step_time_s(nodes)
+        out = {
+            "predicted_sync_s": pred_sync,
+            "predicted_overlap_s": pred_over,
+            "predicted_gain": 1.0 - pred_over / pred_sync if pred_sync else 0.0,
+            "measured_sync_s": measured_sync_s,
+            "measured_overlap_s": measured_overlap_s,
+        }
+        if measured_sync_s is not None and measured_overlap_s is not None:
+            out["measured_gain"] = (
+                1.0 - measured_overlap_s / measured_sync_s
+                if measured_sync_s
+                else 0.0
+            )
+        if measured_sync_s is not None and pred_sync:
+            out["sync_ratio"] = measured_sync_s / pred_sync
+        if measured_overlap_s is not None and pred_over:
+            out["overlap_ratio"] = measured_overlap_s / pred_over
+        return out

@@ -18,6 +18,7 @@ of real MPI (:mod:`repro.parallel.mpi_adapter`) without misrouting.
 
 from __future__ import annotations
 
+from itertools import product
 from time import perf_counter
 
 import numpy as np
@@ -25,7 +26,12 @@ import numpy as np
 from .blockforest import Block, BlockForest
 from .mpi_sim import SimComm
 
-__all__ = ["exchange_field", "communication_volume_bytes"]
+__all__ = [
+    "exchange_field",
+    "ExchangePlan",
+    "GhostExchange",
+    "communication_volume_bytes",
+]
 
 
 def _strip(arr: np.ndarray, axis: int, sl: slice) -> tuple:
@@ -37,12 +43,15 @@ def _strip(arr: np.ndarray, axis: int, sl: slice) -> tuple:
 def _apply_wall(arr: np.ndarray, axis: int, side: int, gl: int, mode: str) -> None:
     n = arr.shape[axis]
     if mode == "neumann":
+        # zero-gradient via mirroring (ghost layer `layer` = interior layer
+        # `2gl-1-layer`), identical to the single-block fill_ghosts scheme
+        # so distributed and single-block runs agree for every ghost width
         if side < 0:
-            edge = arr[_strip(arr, axis, slice(gl, gl + 1))]
-            arr[_strip(arr, axis, slice(0, gl))] = edge
+            src = arr[_strip(arr, axis, slice(gl, 2 * gl))]
+            arr[_strip(arr, axis, slice(0, gl))] = np.flip(src, axis=axis)
         else:
-            edge = arr[_strip(arr, axis, slice(n - gl - 1, n - gl))]
-            arr[_strip(arr, axis, slice(n - gl, n))] = edge
+            src = arr[_strip(arr, axis, slice(n - 2 * gl, n - gl))]
+            arr[_strip(arr, axis, slice(n - gl, n))] = np.flip(src, axis=axis)
     elif mode == "periodic":
         raise RuntimeError(
             "periodic walls are handled by the block forest wrap-around"
@@ -177,6 +186,259 @@ def exchange_field(
             nbytes=sent_bytes, messages=sent_messages, end=t_end,
         )
     return sent_bytes
+
+
+def _neighbor_at(forest: BlockForest, coords: tuple, offset: tuple) -> tuple | None:
+    """Neighbour block at a (possibly diagonal) offset vector, or None at a wall."""
+    cur = coords
+    for axis, o in enumerate(offset):
+        if o:
+            cur = forest.neighbor(cur, axis, o)
+            if cur is None:
+                return None
+    return cur
+
+
+def _src_region(shape: tuple, axis_offsets: tuple, gl: int) -> tuple:
+    """Sender-side interior region adjacent to the face/edge/corner *offset*."""
+    idx = []
+    for n, o in zip(shape, axis_offsets):
+        if o < 0:
+            idx.append(slice(gl, 2 * gl))
+        elif o > 0:
+            idx.append(slice(n - 2 * gl, n - gl))
+        else:
+            idx.append(slice(gl, n - gl))
+    return tuple(idx)
+
+
+def _dst_region(shape: tuple, axis_offsets: tuple, gl: int) -> tuple:
+    """Receiver-side ghost region filled by a message sent with *offset*.
+
+    The sender lies at ``-offset`` from the receiver, so a ``+1`` component
+    (sender moved up to reach the receiver) fills the receiver's *low* ghost.
+    """
+    idx = []
+    for n, o in zip(shape, axis_offsets):
+        if o > 0:
+            idx.append(slice(0, gl))
+        elif o < 0:
+            idx.append(slice(n - gl, n))
+        else:
+            idx.append(slice(gl, n - gl))
+    return tuple(idx)
+
+
+class ExchangePlan:
+    """Precomputed topology for one rank's :class:`GhostExchange`.
+
+    The neighbour structure (which regions copy where, which messages go to
+    which rank, which faces are domain walls) depends only on the forest,
+    the ownership map and the ghost width — not on field data — so the
+    solver computes it once and reuses it every step for every field.  All
+    region indices are spatial-only tuples; trailing index dimensions pass
+    through untouched.
+    """
+
+    def __init__(self, blocks, forest, owners, my_rank: int, ghost_layers: int):
+        gl = int(ghost_layers)
+        self.ghost_layers = gl
+        dim = forest.dim
+        # uniform block shapes: spatial extents come from the forest
+        shape = tuple(s + 2 * gl for s in forest.block_shape)
+        offsets = [off for off in product((-1, 0, +1), repeat=dim) if any(off)]
+        #: on-rank ghost copies: (src_coords, src_region, dst_coords, dst_region)
+        self.local: list[tuple] = []
+        #: remote strips grouped per destination rank (one aggregated message
+        #: per neighbour rank per exchange): rank -> [(src_coords, src_region,
+        #: offset, dst_coords)]
+        self.sends_by_rank: dict[int, list[tuple]] = {}
+        #: source ranks a bundle is expected from, ascending
+        self.recv_sources: list[int] = []
+        #: ghost region a strip sent with *offset* lands in
+        self.dst_region_of: dict[tuple, tuple] = {
+            off: _dst_region(shape, off, gl) for off in offsets
+        }
+        #: domain-wall fills in ascending axis order: (coords, axis, side)
+        self.walls: list[tuple] = []
+        for coords in sorted(blocks):
+            for off in offsets:
+                nb = _neighbor_at(forest, coords, off)
+                if nb is None:
+                    continue
+                owner = owners[nb]
+                if owner == my_rank:
+                    self.local.append(
+                        (coords, _src_region(shape, off, gl),
+                         nb, self.dst_region_of[off])
+                    )
+                else:
+                    self.sends_by_rank.setdefault(owner, []).append(
+                        (coords, _src_region(shape, off, gl), off, nb)
+                    )
+        # neighbourhood is symmetric (periodic wrap included): every rank I
+        # send to also sends to me, exactly one bundle each
+        self.recv_sources = sorted(self.sends_by_rank)
+        for axis in range(dim):
+            for coords in sorted(blocks):
+                for side in (-1, +1):
+                    if forest.neighbor(coords, axis, side) is None:
+                        self.walls.append((coords, axis, side))
+
+
+class GhostExchange:
+    """Asynchronous ghost-layer exchange split into ``start()`` / ``finish()``.
+
+    Unlike the synchronous axis-by-axis relay of :func:`exchange_field`
+    (whose later axes must wait for earlier ones to land before they can
+    transport ghost corners), this exchange packs one strip per non-zero
+    neighbour offset vector in ``{-1, 0, +1}^dim`` — faces span the interior
+    of the other axes; edges and corners travel as dedicated diagonal
+    strips.  That removes the intra-exchange ordering dependency, so
+    ``start()`` can fire every send (and the on-rank copies, which only read
+    stable interiors) before any compute, and ``finish()`` merely waits,
+    unpacks and applies domain-wall fills.  Between the two calls, kernels
+    restricted to the block interior may run freely: ghost cells are the
+    only memory the exchange writes.  All strips bound for the same rank
+    are aggregated into a single message (the per-neighbour send buffers of
+    real MPI stencil codes), so each exchange costs one message per
+    neighbour rank regardless of block count.  The static topology — which
+    regions copy where, which ranks exchange bundles, which faces are
+    domain walls — lives in an :class:`ExchangePlan` the solver computes
+    once and reuses every step.
+
+    The result is bit-identical to :func:`exchange_field`: faces carry the
+    same interior strips, diagonal messages carry exactly the cells the
+    relay would have forwarded through intermediate ghost strips, and wall
+    fills (applied in ascending axis order after unpacking, mirror scheme)
+    reproduce the relay's corner resolution.
+
+    Profiler attribution: ``exchange:<field>:pack`` (packing + sends +
+    on-rank copies, recorded by ``start``), ``exchange:<field>:wait``
+    (blocking on in-flight receives) and ``exchange:<field>:unpack``
+    (ghost writes + wall fills), plus the ``exchange:<field>`` total —
+    the total counts only time spent inside the exchange, not the compute
+    hidden between ``start`` and ``finish``.
+    """
+
+    def __init__(
+        self,
+        blocks: dict[tuple, Block],
+        forest: BlockForest,
+        owners: dict[tuple, int],
+        comm: SimComm | None,
+        field_name: str,
+        ghost_layers: int,
+        wall_mode: str = "neumann",
+        profiler=None,
+        comm_matrix=None,
+        plan: ExchangePlan | None = None,
+    ):
+        self.blocks = blocks
+        self.forest = forest
+        self.owners = owners
+        self.comm = comm
+        self.field_name = field_name
+        self.gl = int(ghost_layers)
+        self.wall_mode = wall_mode
+        self.profiler = profiler
+        self.comm_matrix = comm_matrix
+        self.my_rank = comm.rank if comm is not None else 0
+        # the neighbour topology is static — reuse a precomputed plan when
+        # the caller (the solver) holds one, else derive it here
+        self.plan = plan if plan is not None else ExchangePlan(
+            blocks, forest, owners, self.my_rank, self.gl
+        )
+        # capture array references now: the solver swaps its name->array
+        # bindings at the end of a step, but a pending exchange must keep
+        # unpacking into the arrays it packed from
+        self.arrays: dict[tuple, np.ndarray] = {
+            coords: block.arrays[field_name] for coords, block in blocks.items()
+        }
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self._requests: list = []       # (source, tag, Request) in recv order
+        self._seconds = 0.0             # time spent inside start()+finish()
+        self._started = False
+        self._finished = False
+
+    def start(self) -> None:
+        """Pack boundary regions, fire all sends, post all receives."""
+        if self._started:
+            raise RuntimeError(f"exchange of {self.field_name!r} already started")
+        self._started = True
+        t0 = perf_counter()
+        plan = self.plan
+        arrays = self.arrays
+        # on-rank copies only read stable interiors, so they may run now
+        for src_coords, src_region, dst_coords, dst_region in plan.local:
+            arrays[dst_coords][dst_region] = arrays[src_coords][src_region]
+        if plan.sends_by_rank and self.comm is None:
+            raise RuntimeError("remote neighbour but no communicator")
+        tag = (self.field_name, "ghosts")
+        for owner in sorted(plan.sends_by_rank):
+            # aggregate every strip bound for *owner* into one message; each
+            # entry names its destination block and the sender-side offset so
+            # the receiver can place it without per-strip tags
+            bundle = [
+                (dst_coords, off, arrays[src_coords][src_region].copy())
+                for src_coords, src_region, off, dst_coords
+                in plan.sends_by_rank[owner]
+            ]
+            self.comm.isend(bundle, owner, tag=tag)
+            nbytes = sum(p.nbytes for _, _, p in bundle)
+            self.bytes_sent += nbytes
+            self.messages_sent += 1
+            if self.comm_matrix is not None:
+                self.comm_matrix.add(self.my_rank, owner, nbytes)
+        # post one receive per neighbour rank, ascending: the neighbourhood
+        # is symmetric (periodic wrap included), so each rank I send to owes
+        # me exactly one bundle in return
+        for source in plan.recv_sources:
+            self._requests.append((source, tag, self.comm.irecv(source, tag=tag)))
+        t1 = perf_counter()
+        self._seconds += t1 - t0
+        if self.profiler is not None:
+            self.profiler.record(
+                f"exchange:{self.field_name}:pack", t1 - t0, end=t1,
+            )
+
+    def finish(self) -> None:
+        """Wait for in-flight receives, unpack ghosts, fill domain walls."""
+        if not self._started:
+            raise RuntimeError(f"exchange of {self.field_name!r} never started")
+        if self._finished:
+            raise RuntimeError(f"exchange of {self.field_name!r} already finished")
+        self._finished = True
+        plan = self.plan
+
+        t0 = perf_counter()
+        received: list[list] = [req.wait() for _source, _tag, req in self._requests]
+        t1 = perf_counter()
+        if self.profiler is not None:
+            self.profiler.record(
+                f"exchange:{self.field_name}:wait", t1 - t0, end=t1,
+            )
+
+        t2 = perf_counter()
+        for bundle in received:
+            for dst_coords, sender_off, payload in bundle:
+                self.arrays[dst_coords][plan.dst_region_of[sender_off]] = payload
+        # wall fills last, in ascending axis order: later-axis mirrors read
+        # earlier-axis ghost corners, exactly like the synchronous relay
+        for coords, axis, side in plan.walls:
+            _apply_wall(self.arrays[coords], axis, side, self.gl, self.wall_mode)
+        t3 = perf_counter()
+        if self.profiler is not None:
+            self.profiler.record(
+                f"exchange:{self.field_name}:unpack", t3 - t2, end=t3,
+            )
+        self._seconds += t3 - t0
+        if self.profiler is not None:
+            self.profiler.record(
+                f"exchange:{self.field_name}", self._seconds,
+                nbytes=self.bytes_sent, messages=self.messages_sent, end=t3,
+            )
 
 
 def communication_volume_bytes(

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import queue
 import threading
+from collections import deque
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Callable
@@ -46,6 +47,13 @@ class _Router:
         self.failed = threading.Event()
 
     def channel(self, src: int, dst: int, tag: int) -> queue.Queue:
+        if src == dst:
+            # self-transfers never touch the router (real MPI matches them
+            # inside the rank); a self-channel here would mask deadlocks
+            raise RuntimeError(
+                f"rank {src} must not enqueue to itself (tag={tag!r}); "
+                "self-transfers are handled by the communicator's local buffer"
+            )
         key = (src, dst, tag)
         with self._lock:
             ch = self._channels.get(key)
@@ -83,6 +91,9 @@ class SimComm:
     def __init__(self, rank: int, router: _Router):
         self.rank = rank
         self._router = router
+        # rank-local FIFO per tag: self-sends bypass the router entirely,
+        # as real MPI matches them inside the rank (no network round trip)
+        self._self_queues: dict[Any, deque] = {}
 
     @property
     def size(self) -> int:
@@ -102,11 +113,26 @@ class SimComm:
             raise ValueError(f"invalid destination rank {dest}")
         if isinstance(obj, np.ndarray):
             obj = obj.copy()  # value semantics as with real MPI
+        if dest == self.rank:
+            self._self_queues.setdefault(tag, deque()).append(obj)
+            return
         self._router.channel(self.rank, dest, tag).put(obj)
 
     def recv(self, source: int, tag: int = 0) -> Any:
         if not 0 <= source < self.size:
             raise ValueError(f"invalid source rank {source}")
+        if source == self.rank:
+            q = self._self_queues.get(tag)
+            if not q:
+                # a blocking self-receive with nothing buffered can never be
+                # satisfied — fail immediately instead of waiting out the
+                # deadline (the matching send must already have happened)
+                raise RankError(
+                    f"recv from self with no buffered send "
+                    f"(source={source}, dest={self.rank}, tag={tag!r}) — "
+                    f"immediate deadlock"
+                )
+            return q.popleft()
         ch = self._router.channel(source, self.rank, tag)
         timeout = self._router.recv_timeout
         deadline = perf_counter() + timeout

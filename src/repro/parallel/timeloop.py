@@ -22,6 +22,7 @@ from time import perf_counter
 
 from ..backends.numpy_backend import compile_numpy_kernel
 from ..diagnostics.suite import merge_partials
+from ..ir.kernel import split_interior_frontier
 from ..observability.distributed import CommMatrix
 from ..observability.health import HealthMonitor
 from ..observability.log import get_logger, kv
@@ -30,7 +31,7 @@ from ..observability.tracing import get_tracer
 from ..pfm.model import PhaseFieldKernelSet
 from ..profiling import SolverProfiler, compile_cached
 from .blockforest import Block, BlockForest
-from .ghostlayer import exchange_field
+from .ghostlayer import ExchangePlan, GhostExchange, exchange_field
 from .mpi_sim import SimComm
 
 __all__ = ["DistributedSolver"]
@@ -43,6 +44,20 @@ class DistributedSolver:
 
     Pass a :class:`repro.observability.HealthMonitor` as *health* to check
     every owned block on the monitor's cadence during :meth:`step`.
+
+    ``overlap=True`` selects the communication-hiding schedule (paper
+    §4.3): each ghost exchange is split into an asynchronous
+    :meth:`~repro.parallel.ghostlayer.GhostExchange.start` /
+    :meth:`~repro.parallel.ghostlayer.GhostExchange.finish` pair, and the
+    µ sweep is split into an *interior* kernel (cells that read no ghost
+    data) run while the φ_dst exchange is in flight, plus per-face
+    *frontier* kernels run after it lands.  The schedule is bit-identical
+    to ``overlap=False`` and to the single-block solver — the restricted
+    kernels iterate the same global cell coordinates, so even the Philox
+    fluctuation streams agree.
+
+    ``ghost_layers`` widens the ghost frame beyond what the kernels
+    require (e.g. to validate gl=2 wall handling end to end).
     """
 
     def __init__(
@@ -54,6 +69,9 @@ class DistributedSolver:
         seed: int = 0,
         compiled_cache: dict | None = None,
         health: HealthMonitor | None = None,
+        overlap: bool = False,
+        ghost_layers: int | None = None,
+        backend: str = "numpy",
     ):
         self.kernel_set = kernel_set
         self.model = kernel_set.model
@@ -62,7 +80,16 @@ class DistributedSolver:
         self.comm = comm
         self.wall_mode = wall_mode
         self.seed = seed
-        self.ghost_layers = max(kernel_set.ghost_layers, 1)
+        required_gl = max(kernel_set.ghost_layers, 1)
+        if ghost_layers is None:
+            self.ghost_layers = required_gl
+        else:
+            if int(ghost_layers) < required_gl:
+                raise ValueError(
+                    f"ghost_layers={ghost_layers} below the kernel set's "
+                    f"requirement of {required_gl}"
+                )
+            self.ghost_layers = int(ghost_layers)
         self.rank = comm.rank if comm is not None else 0
         n_ranks = comm.size if comm is not None else 1
         self.n_ranks = n_ranks
@@ -82,18 +109,47 @@ class DistributedSolver:
         # on kernel *names* only — kept for callers that need rank-private
         # compilations; by default the shared structural cache is used, so
         # every rank/solver built from an equal kernel set compiles once
+        self.backend = backend
         if compiled_cache is not None:
+            if backend != "numpy":
+                raise ValueError("compiled_cache only supports the numpy backend")
+
             def compiled(kernel):
                 if kernel.name not in compiled_cache:
                     compiled_cache[kernel.name] = compile_numpy_kernel(kernel)
                 return compiled_cache[kernel.name]
         else:
             def compiled(kernel):
-                return compile_cached(kernel, "numpy")
+                return compile_cached(kernel, backend)
 
         self._phi = [compiled(k) for k in kernel_set.phi_kernels]
         self._project = compiled(kernel_set.projection_kernel)
         self._mu = [compiled(k) for k in kernel_set.mu_kernels]
+
+        self.overlap = bool(overlap)
+        self._pending: GhostExchange | None = None
+        self._exchange_plan: ExchangePlan | None = None
+        if self.overlap:
+            self._validate_overlap()
+            # lower each µ kernel into one interior variant plus 2·dim
+            # frontier slabs; together they tile the block exactly once
+            self._mu_interior = []
+            self._mu_frontier = []
+            for k in kernel_set.mu_kernels:
+                interior, frontiers = split_interior_frontier(k)
+                self._mu_interior.append(compiled(interior))
+                self._mu_frontier.extend(compiled(f) for f in frontiers)
+            # defer the µ_dst finish() into the next step only when the φ
+            # sweep reads µ at the centre cell alone — then stale µ ghosts
+            # during the φ sweep are never observed
+            phi_like = [*kernel_set.phi_kernels, kernel_set.projection_kernel]
+            self._defer_mu = all(
+                acc.max_abs_offset == 0
+                for k in phi_like
+                for acc in k.ac.field_reads
+                if acc.field.name == "mu"
+            )
+
         self.time_step = 0
         self.time = 0.0
         self.bytes_sent = 0
@@ -136,6 +192,7 @@ class DistributedSolver:
         ``phi_block`` has shape ``interior_shape + (N,)`` and ``mu_block``
         broadcasts to ``interior_shape + (K−1,)``.
         """
+        self._finish_pending()
         gl = self.ghost_layers
         for block in self.blocks.values():
             phi0, mu0 = init(block.cell_offset, block.interior_shape)
@@ -145,7 +202,120 @@ class DistributedSolver:
         self._exchange("phi")
         self._exchange("mu")
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def _block_checkpoint_path(self, base, coords):
+        from pathlib import Path
+
+        base = Path(base)
+        tag = "block_" + "_".join(str(c) for c in coords)
+        return base.with_name(f"{base.stem}.{tag}.npz")
+
+    def save_checkpoint(self, path) -> list:
+        """Write one ``.npz`` per owned block next to the normalized *path*.
+
+        Block ``(i, j, ...)`` lands in ``<stem>.block_i_j.npz`` holding the
+        interior φ/µ plus time and step, so a restart with any rank count
+        (over the same forest) can reassemble the state.  Returns the paths
+        written by this rank.
+        """
+        from ..analysis.io import save_snapshot, snapshot_path
+
+        self._finish_pending()
+        base = snapshot_path(path)
+        gl = self.ghost_layers
+        sl = (slice(gl, -gl),) * self.forest.dim
+        written = []
+        for coords in sorted(self.blocks):
+            arrays = self.blocks[coords].arrays
+            written.append(
+                save_snapshot(
+                    self._block_checkpoint_path(base, coords),
+                    arrays["phi"][sl].copy(),
+                    arrays["mu"][sl].copy(),
+                    self.time,
+                    self.time_step,
+                )
+            )
+        _log.info(
+            kv(
+                "checkpoint_saved",
+                kind="distributed",
+                rank=self.rank,
+                base=str(base),
+                blocks=len(written),
+                time_step=self.time_step,
+            )
+        )
+        return written
+
+    def load_checkpoint(self, path) -> None:
+        """Restore every owned block from :meth:`save_checkpoint` files.
+
+        Restores interiors, time and step, then re-exchanges φ and µ so the
+        ghost frame is consistent — a resumed run continues bit-identically
+        to an uninterrupted one.
+        """
+        from ..analysis.io import load_snapshot, snapshot_path
+
+        self._finish_pending()
+        base = snapshot_path(path)
+        gl = self.ghost_layers
+        sl = (slice(gl, -gl),) * self.forest.dim
+        times: set[float] = set()
+        steps: set[int] = set()
+        for coords in sorted(self.blocks):
+            data = load_snapshot(self._block_checkpoint_path(base, coords))
+            arrays = self.blocks[coords].arrays
+            arrays["phi"][sl] = data["phi"]
+            arrays["mu"][sl] = data["mu"]
+            times.add(float(data["time"]))
+            steps.add(int(data["time_step"]))
+        if len(times) > 1 or len(steps) > 1:
+            raise ValueError(
+                f"inconsistent per-block checkpoints under {base}: "
+                f"times={sorted(times)}, steps={sorted(steps)}"
+            )
+        if times:
+            self.time = times.pop()
+            self.time_step = steps.pop()
+        self._exchange("phi")
+        self._exchange("mu")
+        _log.info(
+            kv(
+                "checkpoint_loaded",
+                kind="distributed",
+                rank=self.rank,
+                base=str(base),
+                blocks=len(self.blocks),
+                time_step=self.time_step,
+            )
+        )
+
     # -- stepping ----------------------------------------------------------------
+
+    def _validate_overlap(self) -> None:
+        ks = self.kernel_set
+        margin = max((max(k.ghost_layers, 1) for k in ks.mu_kernels), default=1)
+        if min(self.forest.block_shape) < 2 * margin:
+            raise ValueError(
+                f"overlap requires blocks of at least {2 * margin} cells per "
+                f"axis (interior margin {margin}), got {self.forest.block_shape}"
+            )
+        # the interior/frontier split runs a kernel's pieces back to back,
+        # so no µ kernel may read a field another µ kernel writes
+        for ki in ks.mu_kernels:
+            for kj in ks.mu_kernels:
+                if ki is kj:
+                    continue
+                clash = {f.name for f in ki.ac.fields_read} & {
+                    f.name for f in kj.ac.fields_written
+                }
+                if clash:
+                    raise ValueError(
+                        f"overlap schedule needs independent µ kernels, but "
+                        f"{ki.name!r} reads {sorted(clash)} written by {kj.name!r}"
+                    )
 
     def _exchange(self, name: str) -> None:
         sent = exchange_field(
@@ -163,8 +333,51 @@ class DistributedSolver:
         if sent:
             self._bytes_counter.inc(sent)
 
+    def _start_exchange(self, name: str) -> GhostExchange:
+        if self._exchange_plan is None:
+            self._exchange_plan = ExchangePlan(
+                self.blocks, self.forest, self.owners,
+                self.rank, self.ghost_layers,
+            )
+        ex = GhostExchange(
+            self.blocks,
+            self.forest,
+            self.owners,
+            self.comm,
+            name,
+            self.ghost_layers,
+            self.wall_mode,
+            profiler=self.profiler,
+            comm_matrix=self.comm_matrix,
+            plan=self._exchange_plan,
+        )
+        ex.start()
+        return ex
+
+    def _finish_exchange(self, ex: GhostExchange) -> None:
+        ex.finish()
+        self.bytes_sent += ex.bytes_sent
+        if ex.bytes_sent:
+            self._bytes_counter.inc(ex.bytes_sent)
+
+    def _finish_pending(self) -> None:
+        """Land the µ_dst exchange deferred from the previous step.
+
+        Any operation that reads ghost cells or drains the message queues
+        (gather, checkpointing, diagnostics, reports, the next frontier
+        sweep) must call this first.
+        """
+        if self._pending is not None:
+            ex, self._pending = self._pending, None
+            self._finish_exchange(ex)
+
     def _run(self, compiled, block: Block) -> None:
         cells = self._cells_per_block.get(tuple(block.coords), 0)
+        sub = getattr(getattr(compiled, "kernel", None), "subspace", None)
+        if sub is not None:
+            cells = 1
+            for lo, hi in sub.concrete(block.interior_shape):
+                cells *= hi - lo
         with self.profiler.measure(compiled.name, cells=cells):
             compiled(
                 block.arrays,
@@ -175,20 +388,57 @@ class DistributedSolver:
                 seed=self.seed,
             )
 
+    def _sweep_phi(self) -> None:
+        for block in self.blocks.values():
+            for k in self._phi:
+                self._run(k, block)
+            self._run(self._project, block)
+
+    def _step_synchronous(self) -> None:
+        self._sweep_phi()
+        self._exchange("phi_dst")
+        for block in self.blocks.values():
+            for k in self._mu:
+                self._run(k, block)
+        self._exchange("mu_dst")
+
+    def _step_overlapped(self) -> None:
+        # φ sweep, then hide the φ_dst exchange behind the µ interior
+        # kernels; the µ frontier runs once the ghosts have landed
+        self._sweep_phi()
+        ex_phi = self._start_exchange("phi_dst")
+        for block in self.blocks.values():
+            for k in self._mu_interior:
+                self._run(k, block)
+        # the previous step's µ_dst exchange (today's µ_src ghosts) must
+        # land before any frontier cell reads them
+        self._finish_pending()
+        self._finish_exchange(ex_phi)
+        for block in self.blocks.values():
+            for k in self._mu_frontier:
+                self._run(k, block)
+        ex_mu = self._start_exchange("mu_dst")
+        if self._defer_mu:
+            # φ reads µ at the centre only, so next step's φ sweep can hide
+            # this exchange too; finish() lands it before the µ frontier
+            self._pending = ex_mu
+        else:
+            self._finish_exchange(ex_mu)
+
     def step(self, n_steps: int = 1) -> None:
         tracer = get_tracer()
         for _ in range(n_steps):
             t0 = perf_counter()
-            with tracer.span("step", category="runtime", time_step=self.time_step):
-                for block in self.blocks.values():
-                    for k in self._phi:
-                        self._run(k, block)
-                    self._run(self._project, block)
-                self._exchange("phi_dst")
-                for block in self.blocks.values():
-                    for k in self._mu:
-                        self._run(k, block)
-                self._exchange("mu_dst")
+            with tracer.span(
+                "step",
+                category="runtime",
+                time_step=self.time_step,
+                overlap=self.overlap,
+            ):
+                if self.overlap:
+                    self._step_overlapped()
+                else:
+                    self._step_synchronous()
                 for block in self.blocks.values():
                     block.arrays["phi"], block.arrays["phi_dst"] = (
                         block.arrays["phi_dst"],
@@ -261,6 +511,7 @@ class DistributedSolver:
         return self._diag_series
 
     def _evaluate_diagnostics(self) -> dict:
+        self._finish_pending()
         suite = self._diag_suite
         local: dict[tuple, tuple[dict, int]] = {}
         for coords, block in self.blocks.items():
@@ -312,7 +563,7 @@ class DistributedSolver:
         (φ: N components, µ: K−1).  Returns ``None`` before any kernel has
         been timed.
         """
-        from .comm_model import OMNIPATH_FAT_TREE, StepTimeModel
+        from .comm_model import OMNIPATH_FAT_TREE, CommOptions, StepTimeModel
 
         kernel_recs = [r for r in self.profiler.records.values() if r.cells]
         kernel_secs = sum(r.seconds for r in kernel_recs)
@@ -326,6 +577,7 @@ class DistributedSolver:
                 self.params.n_phases + self.params.n_mu
             ),
             network=OMNIPATH_FAT_TREE,
+            options=CommOptions(overlap=self.overlap),
             ghost_layers=self.ghost_layers,
         )
 
@@ -343,8 +595,10 @@ class DistributedSolver:
         from ..observability.distributed import (
             comm_closure_report,
             imbalance_factor,
+            overlap_closure_report,
         )
 
+        self._finish_pending()
         matrix = CommMatrix(self.n_ranks).merge(self.comm_matrix)
         if self.comm is not None:
             gathered = self.comm.allgather(
@@ -357,6 +611,10 @@ class DistributedSolver:
         else:
             step_times = [self.step_seconds]
         lam = imbalance_factor(step_times)
+        model = step_model if step_model is not None else self.default_step_model()
+        measured = (
+            self.step_seconds / self.time_step if self.time_step else None
+        )
         lines = [
             matrix.render(
                 f"communication matrix: {self.n_ranks} ranks, "
@@ -365,9 +623,16 @@ class DistributedSolver:
             f"   load imbalance λ (max/mean per-rank step time): {lam:.3f}",
             "",
             comm_closure_report(
-                step_model if step_model is not None else self.default_step_model(),
+                model,
                 self.profiler,
                 self.time_step,
+                nodes=nodes,
+            ),
+            "",
+            overlap_closure_report(
+                model,
+                measured_step_s=measured,
+                mode="overlap" if self.overlap else "sync",
                 nodes=nodes,
             ),
         ]
@@ -381,6 +646,7 @@ class DistributedSolver:
         """
         from ..observability.report import model_accuracy_report
 
+        self._finish_pending()
         base = self.profiler.report(
             f"distributed profile: rank {self.rank}, {len(self.blocks)} blocks, "
             f"{self.time_step} steps"
@@ -406,6 +672,7 @@ class DistributedSolver:
 
     def gather(self, name: str) -> np.ndarray | None:
         """Assemble the global interior field on rank 0 (None elsewhere)."""
+        self._finish_pending()
         gl = self.ghost_layers
         sl = (slice(gl, -gl),) * self.forest.dim
         local = {

@@ -49,6 +49,7 @@ class SingleBlockSolver:
         seed: int = 0,
         backend: str = "numpy",
         health: HealthMonitor | None = None,
+        ghost_layers: int | None = None,
     ):
         self.kernel_set = kernel_set
         self.model: GrandPotentialModel = kernel_set.model
@@ -61,7 +62,16 @@ class SingleBlockSolver:
         self.shape = tuple(int(s) for s in interior_shape)
         self.boundary = boundary
         self.seed = seed
-        self.ghost_layers = max(kernel_set.ghost_layers, 1)
+        required_gl = max(kernel_set.ghost_layers, 1)
+        if ghost_layers is None:
+            self.ghost_layers = required_gl
+        else:
+            if int(ghost_layers) < required_gl:
+                raise ValueError(
+                    f"ghost_layers={ghost_layers} below the kernel set's "
+                    f"requirement of {required_gl}"
+                )
+            self.ghost_layers = int(ghost_layers)
 
         # compiled once per process via the shared kernel cache: building a
         # second solver from an equal kernel set reuses every binary

@@ -79,6 +79,8 @@ def kernel_fingerprint(kernel: Kernel) -> str:
     put(str(kernel.ghost_layers))
     put(str(kernel.loop_order))
     put(str(getattr(kernel, "reductions", ())))
+    # iteration-space restriction changes the emitted loop bounds/slices
+    put(str(getattr(kernel, "subspace", None)))
     for a in kernel.ac.all_assignments:
         put(sp.srepr(a.lhs))
         put(sp.srepr(a.rhs))
