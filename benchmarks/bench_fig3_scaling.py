@@ -229,6 +229,102 @@ def test_fig3_overlap_measured_step_times(bench_json):
     assert overlap_s < 2.0 * sync_s
 
 
+def test_fig3_real_parallel_measured(bench_json):
+    """Executed step times on *real OS processes* (the process backend).
+
+    Runs the 2D two-phase binary model on 1 and 2 process-backed ranks
+    (:mod:`repro.parallel.proc_comm`: fork + shared-memory ghost buffers)
+    and records the measured per-step wall time and the 2-rank speedup.
+    The numpy backend is used deliberately: pytest has already executed
+    OpenMP parallel regions in this process by the time this test runs,
+    and libgomp's thread pool does not survive a fork — numpy keeps the
+    forked ranks safe regardless of test ordering.
+
+    On shared 1-core runners a speedup near 1/n is the physical ceiling;
+    the speedup floor is gated by ``tools/bench_scaling_smoke.py`` (which
+    forks before any parallel region and can use the C backend), so this
+    test only asserts liveness and records the measurement.
+    """
+    from time import perf_counter
+
+    from repro.parallel import BlockForest, DistributedSolver
+    from repro.parallel.proc_comm import (
+        process_backend_available,
+        run_ranks_processes,
+    )
+    from repro.pfm import GrandPotentialModel, make_two_phase_binary, planar_front
+
+    if not process_backend_available():
+        pytest.skip("needs fork + multiprocessing.shared_memory")
+
+    global_shape, block_shape = (128, 128), (64, 128)
+    steps, warmup, n_ranks = 5, 1, 2
+
+    params = make_two_phase_binary(dim=2)
+    kernels = GrandPotentialModel(params).create_kernels()
+    forest = BlockForest(global_shape, block_shape, periodic=True)
+
+    def init(offset, shape):
+        full = planar_front(
+            global_shape, params.n_phases, 0, 1,
+            position=global_shape[0] / 2, epsilon=params.epsilon,
+        )
+        sl = tuple(slice(o, o + s) for o, s in zip(offset, shape))
+        return full[sl], 0.0
+
+    def measure(size):
+        def prog(comm):
+            solver = DistributedSolver(
+                kernels, forest, comm=comm, overlap=False, backend="numpy"
+            )
+            solver.set_state_from(init)
+            solver.step(warmup)
+            comm.barrier()
+            t0 = perf_counter()
+            solver.step(steps)
+            comm.barrier()
+            return perf_counter() - t0
+
+        results = run_ranks_processes(
+            size, prog, recv_timeout=120.0, join_timeout=600.0,
+            env={"OMP_NUM_THREADS": "1"},
+        )
+        return max(results) / steps
+
+    serial_s = measure(1)
+    parallel_s = measure(n_ranks)
+    speedup = serial_s / parallel_s
+
+    lines = [
+        "Fig. 3 (executed) — real process ranks, shared-memory ghost buffers",
+        "",
+        f"backend numpy, domain {'x'.join(map(str, global_shape))}, "
+        f"block {'x'.join(map(str, block_shape))}",
+        "",
+        f"step on 1 process: {serial_s * 1e3:8.3f} ms",
+        f"step on {n_ranks} processes: {parallel_s * 1e3:8.3f} ms   "
+        f"(speedup {speedup:.2f}x)",
+        "",
+        "paper: rank-parallel execution over distributed blocks; the",
+        "speedup floor on multi-core hosts is gated by the scaling smoke",
+    ]
+    emit_table("fig3_real_parallel_measured", lines)
+    bench_json(
+        "scaling", "fig3_real_parallel_measured",
+        params={
+            "ranks": n_ranks, "backend": "numpy",
+            "domain": "x".join(map(str, global_shape)),
+            "block": "x".join(map(str, block_shape)), "steps": steps,
+        },
+        step_seconds_real=parallel_s,
+        real_speedup=speedup,
+    )
+
+    assert serial_s > 0 and parallel_s > 0
+    # liveness guard only: real perf gating lives in the scaling smoke
+    assert speedup > 0.1
+
+
 def test_fig3_right_strong_scaling(benchmark, p1_full, p1_split, bench_json):
     from repro.parallel import ClusterModel, CommOptions, OMNIPATH_FAT_TREE
 

@@ -224,6 +224,35 @@ class Tracer:
         self._state = _ThreadState()
         self._epoch = perf_counter()
 
+    # -- pickling ---------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # rank tracers cross process boundaries (the per-rank results of a
+        # process-backed run are gathered for merge_rank_traces); the lock
+        # and thread-local span stack are per-process and are rebuilt empty
+        # on the other side.  On Linux, perf_counter is CLOCK_MONOTONIC —
+        # system-wide — so the pickled epoch stays meaningful and merged
+        # multi-process traces align on one timeline.
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "rank": self.rank,
+                "spans": list(self._spans),
+                "counters": list(self._counters),
+                "tids": dict(self._tids),
+                "epoch": self._epoch,
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        self.enabled = state["enabled"]
+        self.rank = state["rank"]
+        self._spans = list(state["spans"])
+        self._counters = list(state["counters"])
+        self._tids = dict(state["tids"])
+        self._epoch = state["epoch"]
+        self._lock = threading.Lock()
+        self._state = _ThreadState()
+
     # -- introspection ---------------------------------------------------------
 
     @property

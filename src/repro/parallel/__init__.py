@@ -12,7 +12,13 @@ from .comm_model import (
 )
 from .ghostlayer import GhostExchange, communication_volume_bytes, exchange_field
 from .mpi_adapter import MPI4PyComm, fold_tag, mpi4py_available
-from .mpi_sim import RankError, Request, SimComm, run_ranks
+from .mpi_sim import CollectiveOps, RankError, Request, SimComm, run_ranks
+from .proc_comm import (
+    ProcComm,
+    launch_ranks,
+    process_backend_available,
+    run_ranks_processes,
+)
 from .timeloop import DistributedSolver
 
 __all__ = [
@@ -38,9 +44,14 @@ __all__ = [
     "MPI4PyComm",
     "fold_tag",
     "mpi4py_available",
+    "CollectiveOps",
     "RankError",
     "Request",
     "SimComm",
     "run_ranks",
+    "ProcComm",
+    "launch_ranks",
+    "process_backend_available",
+    "run_ranks_processes",
     "DistributedSolver",
 ]

@@ -148,8 +148,12 @@ def exchange_field(
 
         t0 = perf_counter() if timing else 0.0
         axis_bytes = 0
+        send_requests = []
         for owner, tag, message, nbytes in outgoing:
-            comm.send(message, owner, tag=tag)
+            # non-blocking: a blocking send of a large unbuffered strip can
+            # deadlock on real MPI when two ranks send to each other before
+            # either receives (the simulator's send is always buffered)
+            send_requests.append(comm.isend(message, owner, tag=tag))
             axis_bytes += nbytes
             if comm_matrix is not None:
                 comm_matrix.add(my_rank, owner, nbytes)
@@ -160,6 +164,8 @@ def exchange_field(
             tag = (field_name, axis, sender_side)
             for _ in range(count):
                 received.append((sender_side, comm.recv(src, tag=tag)))
+        for req in send_requests:
+            req.wait()
         if timing:
             t1 = perf_counter()
             profiler.record(
@@ -358,6 +364,8 @@ class GhostExchange:
         self.bytes_sent = 0
         self.messages_sent = 0
         self._requests: list = []       # (source, tag, Request) in recv order
+        self._send_requests: list = []  # isend handles; real MPI requires a
+        #                                 wait on every request to complete it
         self._seconds = 0.0             # time spent inside start()+finish()
         self._started = False
         self._finished = False
@@ -385,7 +393,7 @@ class GhostExchange:
                 for src_coords, src_region, off, dst_coords
                 in plan.sends_by_rank[owner]
             ]
-            self.comm.isend(bundle, owner, tag=tag)
+            self._send_requests.append(self.comm.isend(bundle, owner, tag=tag))
             nbytes = sum(p.nbytes for _, _, p in bundle)
             self.bytes_sent += nbytes
             self.messages_sent += 1
@@ -414,6 +422,11 @@ class GhostExchange:
 
         t0 = perf_counter()
         received: list[list] = [req.wait() for _source, _tag, req in self._requests]
+        # complete the sends too: a dropped isend request leaks under real
+        # MPI (receives complete first, so these waits never block for long)
+        for req in self._send_requests:
+            req.wait()
+        self._send_requests.clear()
         t1 = perf_counter()
         if self.profiler is not None:
             self.profiler.record(

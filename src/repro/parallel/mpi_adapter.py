@@ -11,6 +11,20 @@ The simulated communicator uses rich (tuple) tags for its per-channel
 queues; MPI tags are bounded integers, so tags are folded deterministically
 with CRC-32 (``hash()`` is salted per process and therefore unusable across
 ranks).
+
+Two mpi4py sharp edges are flattened here so the exchange protocol cannot
+silently corrupt a real-parallel run:
+
+* ``irecv`` of a pickled message uses a small default buffer (~32 KiB);
+  any real ghost-layer strip beyond that fails with a truncation error.
+  :meth:`MPI4PyComm.irecv` therefore posts a pre-sized receive buffer
+  (``irecv_buffer_bytes``, default 16 MiB — comfortably above the largest
+  aggregated ghost bundle of the benchmarks).
+* ``bool`` is an ``int`` subclass, so a naive passthrough would alias the
+  tags ``True``/``1`` and ``False``/``0``; and the negative collective
+  tags (``-1``/``-2``) are not valid MPI tags.  :func:`fold_tag` routes
+  both through the deterministic pickle+CRC fold — pickled booleans differ
+  from pickled ints, so the folded tags stay distinct.
 """
 
 from __future__ import annotations
@@ -24,18 +38,28 @@ __all__ = ["fold_tag", "MPI4PyComm", "mpi4py_available"]
 #: Conservative bound below every implementation's MPI_TAG_UB.
 _TAG_MODULUS = 32749  # largest prime below 32768
 
+#: Default pre-sized ``irecv`` buffer (mpi4py's default is ~32 KiB, far
+#: below a realistic aggregated ghost bundle).
+_IRECV_BUFFER_BYTES = 16 * 2**20
+
 
 def fold_tag(tag: Any) -> int:
     """Deterministically fold an arbitrary (picklable) tag to a valid MPI tag.
 
-    Identical on every rank and across processes (unlike ``hash``).
+    Identical on every rank and across processes (unlike ``hash``).  Plain
+    non-negative ``int`` tags below the modulus pass through unchanged;
+    everything else — rich tuple tags, negative collective tags, and
+    booleans (an ``int`` subclass that must NOT alias ``1``/``0``) — folds
+    through CRC-32 of its pickle, which keeps ``True`` distinct from ``1``
+    because the two pickle differently.
+
     Collisions are possible but only matter for *concurrent* messages on the
     same (src, dst) pair; the ghost-layer protocol posts matching sends and
     receives in a deterministic per-axis order, so a collision at worst
     pairs messages of the same exchange — which carry distinct (axis, side,
     block) tags precisely to disambiguate, hence the wide modulus.
     """
-    if isinstance(tag, int) and 0 <= tag < _TAG_MODULUS:
+    if type(tag) is int and 0 <= tag < _TAG_MODULUS:
         return tag
     payload = pickle.dumps(tag, protocol=2)
     return zlib.crc32(payload) % _TAG_MODULUS
@@ -50,15 +74,42 @@ def mpi4py_available() -> bool:
         return False
 
 
-class MPI4PyComm:
-    """``SimComm``-compatible facade over an ``mpi4py.MPI.Comm``."""
+class _WrappedRequest:
+    """``SimComm.Request``-shaped facade over an ``mpi4py`` request."""
 
-    def __init__(self, comm=None):
+    __slots__ = ("_req",)
+
+    def __init__(self, req):
+        self._req = req
+
+    def wait(self):
+        return self._req.wait()
+
+    def test(self):
+        result = self._req.test()
+        # mpi4py returns (flag, msg) for pickled requests; normalize to the
+        # (done, value) pair of repro.parallel.mpi_sim.Request.test
+        if isinstance(result, tuple):
+            return bool(result[0]), result[1]
+        return bool(result), None
+
+
+class MPI4PyComm:
+    """``SimComm``-compatible facade over an ``mpi4py.MPI.Comm``.
+
+    *irecv_buffer_bytes* pre-sizes every non-blocking receive: mpi4py's
+    pickled ``irecv`` cannot grow its buffer after posting, so the buffer
+    must bound the largest message the exchange protocol may deliver
+    (blocking ``recv`` probes the true size and needs no buffer).
+    """
+
+    def __init__(self, comm=None, irecv_buffer_bytes: int = _IRECV_BUFFER_BYTES):
         from mpi4py import MPI  # deferred: mpi4py is optional
 
         self._mpi = MPI
         self._comm = comm if comm is not None else MPI.COMM_WORLD
         self.rank = self._comm.Get_rank()
+        self.irecv_buffer_bytes = int(irecv_buffer_bytes)
 
     @property
     def size(self) -> int:
@@ -79,28 +130,18 @@ class MPI4PyComm:
         return self._comm.recv(source=source, tag=fold_tag(tag))
 
     def isend(self, obj, dest: int, tag=0):
-        req = self._comm.isend(obj, dest=dest, tag=fold_tag(tag))
-
-        class _Req:
-            def wait(self_inner):
-                return req.wait()
-
-            def test(self_inner):
-                return req.test()
-
-        return _Req()
+        return _WrappedRequest(
+            self._comm.isend(obj, dest=dest, tag=fold_tag(tag))
+        )
 
     def irecv(self, source: int, tag=0):
-        req = self._comm.irecv(source=source, tag=fold_tag(tag))
-
-        class _Req:
-            def wait(self_inner):
-                return req.wait()
-
-            def test(self_inner):
-                return req.test()
-
-        return _Req()
+        # pre-sized buffer: mpi4py's default (~32 KiB) truncates any real
+        # ghost-layer strip; the buffer is per-request, so concurrent
+        # receives do not share it
+        buf = bytearray(self.irecv_buffer_bytes)
+        return _WrappedRequest(
+            self._comm.irecv(buf, source=source, tag=fold_tag(tag))
+        )
 
     def sendrecv(self, obj, dest: int, source: int, sendtag=0, recvtag=0):
         return self._comm.sendrecv(

@@ -24,11 +24,15 @@ from typing import Any, Callable
 
 import numpy as np
 
-__all__ = ["SimComm", "Request", "run_ranks", "RankError"]
+__all__ = ["CollectiveOps", "SimComm", "Request", "run_ranks", "RankError"]
 
 #: default deadline for a blocking receive — a rank waiting longer than
 #: this on a message that never comes is deadlocked, not slow
 _RECV_TIMEOUT = 60.0
+
+#: default deadline for the whole SPMD run — a rank thread still alive past
+#: it is stuck outside a receive (receives have their own deadline)
+_JOIN_TIMEOUT = 300.0
 
 
 class RankError(RuntimeError):
@@ -64,9 +68,16 @@ class _Router:
 
 @dataclass
 class Request:
-    """Handle for a non-blocking operation (mpi4py's ``isend``/``irecv``)."""
+    """Handle for a non-blocking operation (mpi4py's ``isend``/``irecv``).
+
+    ``wait()`` blocks until completion; ``test()`` is a true non-blocking
+    probe via the *_poll* callable (returning ``(done, value)``) and never
+    waits.  A request without a poll function (buffered sends) is complete
+    from the start.
+    """
 
     _result: Callable[[], Any]
+    _poll: Callable[[], tuple[bool, Any]] | None = None
     _done: bool = False
     _value: Any = None
 
@@ -77,15 +88,66 @@ class Request:
         return self._value
 
     def test(self) -> tuple[bool, Any]:
-        # queue-backed sends complete immediately; receives poll
-        try:
-            value = self.wait()
+        if self._done:
+            return True, self._value
+        if self._poll is None:
+            # no probe: the operation completed at creation (buffered send)
+            return True, self.wait()
+        done, value = self._poll()
+        if done:
+            self._value = value
+            self._done = True
             return True, value
-        except queue.Empty:
-            return False, None
+        return False, None
 
 
-class SimComm:
+class CollectiveOps:
+    """Collectives implemented over a backend's ``send``/``recv``/``barrier``.
+
+    Shared by :class:`SimComm` and the process-backed communicator of
+    :mod:`repro.parallel.proc_comm`, so every backend executes the identical
+    message pattern AND the identical (rank-ordered) reduction — summation
+    order is what makes distributed diagnostics bit-identical across
+    backends.  Negative tags are reserved for these collectives.
+    """
+
+    def sendrecv(self, obj: Any, dest: int, source: int, sendtag: int = 0, recvtag: int = 0) -> Any:
+        self.send(obj, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        if self.rank == root:
+            for r in range(self.size):
+                if r != root:
+                    self.send(obj, r, tag=-1)
+            return obj
+        return self.recv(root, tag=-1)
+
+    def gather(self, obj: Any, root: int = 0) -> list | None:
+        self.send(obj, root, tag=-2)
+        if self.rank != root:
+            return None
+        return [self.recv(r, tag=-2) for r in range(self.size)]
+
+    def allgather(self, obj: Any) -> list:
+        data = self.gather(obj, root=0)
+        return self.bcast(data, root=0)
+
+    def allreduce(self, value, op: str = "sum"):
+        data = self.allgather(value)
+        if op == "sum":
+            total = data[0]
+            for v in data[1:]:
+                total = total + v
+            return total
+        if op == "max":
+            return max(data)
+        if op == "min":
+            return min(data)
+        raise ValueError(f"unknown reduction op {op!r}")
+
+
+class SimComm(CollectiveOps):
     """Communicator handed to every rank function."""
 
     def __init__(self, rank: int, router: _Router):
@@ -155,52 +217,33 @@ class SimComm:
                         f"no matching send; likely deadlock"
                     )
 
+    def _try_recv(self, source: int, tag: int) -> tuple[bool, Any]:
+        """Non-blocking probe for a matching message; never waits."""
+        if source == self.rank:
+            q = self._self_queues.get(tag)
+            if q:
+                return True, q.popleft()
+            return False, None
+        ch = self._router.channel(source, self.rank, tag)
+        try:
+            return True, ch.get_nowait()
+        except queue.Empty:
+            return False, None
+
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         self.send(obj, dest, tag)  # buffered: completes immediately
         return Request(lambda: None, _done=True)
 
     def irecv(self, source: int, tag: int = 0) -> Request:
-        return Request(lambda: self.recv(source, tag))
-
-    def sendrecv(self, obj: Any, dest: int, source: int, sendtag: int = 0, recvtag: int = 0) -> Any:
-        self.send(obj, dest, sendtag)
-        return self.recv(source, recvtag)
+        return Request(
+            lambda: self.recv(source, tag),
+            _poll=lambda: self._try_recv(source, tag),
+        )
 
     # -- collectives -------------------------------------------------------------
 
     def barrier(self) -> None:
         self._router.barrier.wait()
-
-    def bcast(self, obj: Any, root: int = 0) -> Any:
-        if self.rank == root:
-            for r in range(self.size):
-                if r != root:
-                    self.send(obj, r, tag=-1)
-            return obj
-        return self.recv(root, tag=-1)
-
-    def gather(self, obj: Any, root: int = 0) -> list | None:
-        self.send(obj, root, tag=-2)
-        if self.rank != root:
-            return None
-        return [self.recv(r, tag=-2) for r in range(self.size)]
-
-    def allgather(self, obj: Any) -> list:
-        data = self.gather(obj, root=0)
-        return self.bcast(data, root=0)
-
-    def allreduce(self, value, op: str = "sum"):
-        data = self.allgather(value)
-        if op == "sum":
-            total = data[0]
-            for v in data[1:]:
-                total = total + v
-            return total
-        if op == "max":
-            return max(data)
-        if op == "min":
-            return min(data)
-        raise ValueError(f"unknown reduction op {op!r}")
 
 
 def run_ranks(
@@ -208,6 +251,7 @@ def run_ranks(
     func: Callable[..., Any],
     *args,
     recv_timeout: float = _RECV_TIMEOUT,
+    join_timeout: float = _JOIN_TIMEOUT,
     **kwargs,
 ) -> list:
     """Run ``func(comm, *args, **kwargs)`` on *size* simulated ranks.
@@ -216,6 +260,9 @@ def run_ranks(
     *recv_timeout* bounds every blocking receive — a rank stuck past it
     raises :class:`RankError` naming the ``(source, dest, tag)`` channel
     instead of hanging the whole run (deadlock diagnosability).
+    *join_timeout* bounds the whole run: a rank thread still alive past it
+    (stuck outside a receive, e.g. in user code) raises a :class:`RankError`
+    naming the stuck rank instead of silently returning ``None`` for it.
     """
     router = _Router(size, recv_timeout=recv_timeout)
     results: list = [None] * size
@@ -231,14 +278,37 @@ def run_ranks(
             errors.append((rank, exc))
 
     threads = [
-        threading.Thread(target=worker, args=(r,), name=f"simrank-{r}")
+        threading.Thread(target=worker, args=(r,), name=f"simrank-{r}", daemon=True)
         for r in range(size)
     ]
     for t in threads:
         t.start()
+    deadline = perf_counter() + join_timeout
     for t in threads:
-        t.join(timeout=300)
+        t.join(timeout=max(0.0, deadline - perf_counter()))
+    stuck = [r for r, t in enumerate(threads) if t.is_alive()]
+    if stuck:
+        # flag the run as failed so blocked receives in the stuck ranks
+        # unwind, then give them a moment to notice before reporting
+        router.failed.set()
+        router.barrier.abort()
+        for r in stuck:
+            threads[r].join(timeout=5.0)
+        still_stuck = [r for r in stuck if threads[r].is_alive()]
+        if still_stuck:
+            raise RankError(
+                f"rank(s) {', '.join(map(str, still_stuck))} still running "
+                f"after {join_timeout:g} s — stuck outside a receive; "
+                f"results discarded (threads left to the daemon reaper)"
+            )
     if errors:
         rank, exc = errors[0]
         raise RankError(f"rank {rank} failed: {exc!r}") from exc
+    if stuck:
+        # the abort unwound them without surfacing an exception — still a
+        # failed run: their results arrived only after the deadline
+        raise RankError(
+            f"rank(s) {', '.join(map(str, stuck))} exceeded the "
+            f"{join_timeout:g} s run deadline"
+        )
     return results

@@ -599,16 +599,21 @@ class DistributedSolver:
         )
 
         self._finish_pending()
-        matrix = CommMatrix(self.n_ranks).merge(self.comm_matrix)
+        matrix = CommMatrix(self.n_ranks)
         if self.comm is not None:
+            # merge each gathered matrix exactly once — under a process- or
+            # MPI-backed communicator the allgather returns *copies*, so an
+            # identity check against self.comm_matrix would double-count
+            # this rank's rows (the thread-backed simulator returns the
+            # object itself, where the same single merge is still correct)
             gathered = self.comm.allgather(
                 (self.rank, self.step_seconds, self.comm_matrix)
             )
             step_times = [t for _, t, _ in sorted(gathered)]
             for _, _, other in gathered:
-                if other is not self.comm_matrix:
-                    matrix.merge(other)
+                matrix.merge(other)
         else:
+            matrix.merge(self.comm_matrix)
             step_times = [self.step_seconds]
         lam = imbalance_factor(step_times)
         model = step_model if step_model is not None else self.default_step_model()

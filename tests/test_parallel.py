@@ -95,6 +95,59 @@ class TestSimMPI:
 
         assert run_ranks(2, prog)[1] == ("early", "late")
 
+    def test_irecv_test_returns_false_when_unmatched(self):
+        """Regression: ``Request.test()`` used to call ``wait()`` — blocking
+        up to the full receive deadline and never reporting "not done"."""
+        from time import perf_counter
+
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.irecv(source=1, tag=9)
+                t0 = perf_counter()
+                done, value = req.test()  # nothing sent yet
+                probe_s = perf_counter() - t0
+                comm.send("go", dest=1, tag=10)  # now release the sender
+                final = req.wait()
+                return done, value, probe_s, final
+            comm.recv(source=0, tag=10)
+            comm.send("answer", dest=0, tag=9)
+            return None
+
+        done, value, probe_s, final = run_ranks(2, prog, recv_timeout=5.0)[0]
+        assert done is False
+        assert value is None
+        assert probe_s < 1.0  # a true poll, not a timed-out wait
+        assert final == "answer"
+
+    def test_irecv_test_completes_request(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(123, dest=1, tag=4)
+                return None
+            req = comm.irecv(source=0, tag=4)
+            while True:
+                done, value = req.test()
+                if done:
+                    # the request stays completed; wait() returns the value
+                    assert req.test() == (True, value)
+                    assert req.wait() == value
+                    return value
+
+        assert run_ranks(2, prog)[1] == 123
+
+    def test_stuck_rank_raises_instead_of_none(self):
+        """Regression: a rank thread alive past the join deadline was
+        silently ignored and its ``None`` result returned as success."""
+        import time
+
+        def prog(comm):
+            if comm.rank == 1:
+                time.sleep(30)  # stuck outside any receive
+            return comm.rank
+
+        with pytest.raises(RankError, match=r"rank\(s\) 1"):
+            run_ranks(2, prog, recv_timeout=5.0, join_timeout=0.5)
+
 
 class TestBlockForest:
     def test_tiling_validated(self):
@@ -363,6 +416,53 @@ class TestMPIAdapter:
         from repro.parallel import fold_tag
 
         assert fold_tag(7) == 7
+
+    def test_bool_tags_do_not_alias_ints(self):
+        """Regression: ``bool`` is an ``int`` subclass, so a naive
+        passthrough folded ``True``/``False`` onto tags ``1``/``0``."""
+        from repro.parallel import fold_tag
+
+        assert fold_tag(True) != fold_tag(1)
+        assert fold_tag(False) != fold_tag(0)
+        # still deterministic
+        assert fold_tag(True) == fold_tag(True)
+        assert 0 <= fold_tag(True) < 32749
+        assert 0 <= fold_tag(False) < 32749
+
+    def test_negative_collective_tags_fold_distinctly(self):
+        """The simulator's bcast/gather use tags -1/-2 — invalid as raw MPI
+        tags; they must fold into the valid range without colliding."""
+        from repro.parallel import fold_tag
+
+        bcast, gather = fold_tag(-1), fold_tag(-2)
+        assert bcast != gather
+        assert 0 <= bcast < 32749
+        assert 0 <= gather < 32749
+        assert fold_tag(-1) == bcast  # deterministic across calls
+
+    def test_exchange_plan_tags_fold_without_collision(self):
+        """Every tag the solver's exchanges actually use — the aggregated
+        (field, "ghosts") bundles, the per-axis relay tags, and the
+        collective tags — must land on distinct folded values."""
+        from repro.parallel import fold_tag
+
+        rich_tags = [
+            ("phi", "ghosts"),
+            ("mu", "ghosts"),
+            ("phi_dst", "ghosts"),
+            ("mu_dst", "ghosts"),
+            *(
+                (field, axis, side)
+                for field in ("phi", "mu", "phi_dst", "mu_dst")
+                for axis in (0, 1, 2)
+                for side in (-1, 1)
+            ),
+            -1,
+            -2,
+        ]
+        folded = [fold_tag(t) for t in rich_tags]
+        assert len(set(folded)) == len(rich_tags)
+        assert all(0 <= f < 32749 for f in folded)
 
     def test_adapter_requires_mpi4py(self):
         from repro.parallel import MPI4PyComm, mpi4py_available
