@@ -23,9 +23,19 @@ emits a Chrome-trace of the whole pipeline (load ``trace.json`` in
 ``chrome://tracing`` or https://ui.perfetto.dev) and a Prometheus
 text-format metrics snapshot; ``--health`` turns on the NaN/bounds
 watchdog, ``--log-level INFO`` shows the structured pipeline log.
+
+    python examples/quickstart.py --rundir runs/demo
+
+bundles EVERY artifact — trace, metrics (.prom and .json), diagnostics
+CSV, flight-recorder journal, health log — under one directory with a
+``manifest.json``, ready for ``tools/run_report.py`` to render as a
+self-contained HTML report.
 """
 
 import argparse
+import contextlib
+import json
+from time import perf_counter
 
 import numpy as np
 import sympy as sp
@@ -36,8 +46,10 @@ from repro.discretization import FiniteDifferenceDiscretization, discretize_syst
 from repro.ir import KernelConfig, create_kernel
 from repro.observability import (
     HealthMonitor,
+    RunDir,
     configure_logging,
     enable_tracing,
+    get_recorder,
     get_registry,
     get_tracer,
     model_accuracy_report,
@@ -92,11 +104,24 @@ def parse_args(argv=None):
                          "(free energy, phase fraction, interface area) to a CSV")
     ap.add_argument("--log-level", metavar="LEVEL",
                     help="enable structured logging (DEBUG, INFO, ...)")
+    ap.add_argument("--rundir", metavar="PATH",
+                    help="bundle every artifact (trace, metrics, diagnostics, "
+                         "journal, health log) under one run directory with a "
+                         "manifest.json; implies --trace/--metrics/"
+                         "--diagnostics/--health at their canonical paths")
     return ap.parse_args(argv)
 
 
 def main(argv=None):
     args = parse_args(argv)
+    rundir = None
+    if args.rundir:
+        rundir = RunDir(args.rundir, config={"example": "quickstart",
+                                             "n": 96, "steps": 300})
+        args.trace = args.trace or str(rundir.trace_path)
+        args.metrics = args.metrics or str(rundir.metrics_path)
+        args.diagnostics = args.diagnostics or str(rundir.diagnostics_path)
+        args.health = True
     if args.trace:
         enable_tracing()
     if args.log_level:
@@ -104,6 +129,17 @@ def main(argv=None):
     health = HealthMonitor(
         policy="raise", interval=60, bounds={"phi": (-1e-9, 1 + 1e-9)}
     ) if args.health else None
+    with rundir if rundir is not None else contextlib.nullcontext():
+        _run(args, health, rundir)
+
+
+def _run(args, health, rundir):
+    recorder = get_recorder()
+    if rundir is not None:
+        rundir.note(example="quickstart", backend="numpy")
+        recorder.open_journal(rundir.journal_path())
+        if health is not None:
+            rundir.attach_health(health)
 
     kernel, functional, phi_field = build_kernel()
     print("generated kernel:", kernel)
@@ -132,6 +168,7 @@ def main(argv=None):
 
     n = 96
     arrays = create_arrays(kernel.fields, (n, n), ghost_layers=1)
+    recorder.set_state_provider(lambda: {"phi": arrays["phi"]})
     # circular inclusion of phase φ=1 (radius 30) in a φ=0 matrix
     x, y = np.indices((n, n)) + 0.5
     r0 = 30.0
@@ -155,14 +192,18 @@ def main(argv=None):
     a_prev = area()
     for outer in range(5):
         for inner in range(60):
+            ts = outer * 60 + inner + 1
+            t0 = perf_counter()
+            recorder.step_begin(ts)
             with profiler.measure("fill:phi"):
                 fill_ghosts(arrays["phi"], 1, 2, mode="neumann")
+            recorder.record("kernel", kernel.name, time_step=ts)
             with profiler.measure(kernel.name, cells=n * n):
                 step(arrays)
             # the *obstacle* part of the potential: clip back to [0, 1]
             np.clip(arrays["phi_dst"], 0.0, 1.0, out=arrays["phi_dst"])
             arrays["phi"], arrays["phi_dst"] = arrays["phi_dst"], arrays["phi"]
-            ts = outer * 60 + inner + 1
+            recorder.step_end(ts, perf_counter() - t0)
             if series is not None and ts % 10 == 0:
                 eval_diagnostics(ts)
             if health is not None and health.due(ts):
@@ -185,13 +226,27 @@ def main(argv=None):
     print(model_accuracy_report([kernel], profiler, block_shape=(n, n)))
     if health is not None:
         print("\n" + health.summary())
+    if rundir is not None:
+        # the self-measured recorder cost becomes a gauge so the metrics
+        # snapshot (and the CI checker) can see the observability overhead
+        recorder.publish_overhead()
     if args.metrics:
+        from repro.observability import export_accuracy_metrics, model_accuracy_rows
+
         profiler.export_metrics(solver="quickstart")
+        export_accuracy_metrics(
+            model_accuracy_rows([kernel], profiler, block_shape=(n, n))
+        )
         path = get_registry().export_prometheus(args.metrics)
         print(f"\nmetrics written to {path}")
     if args.trace:
         path = get_tracer().export_chrome(args.trace)
         print(f"trace written to {path} (load in chrome://tracing)")
+    if rundir is not None:
+        with open(rundir.metrics_json_path, "w") as fh:
+            json.dump(get_registry().to_json(), fh, indent=1)
+        recorder.close_journal()
+        print(f"run directory: {rundir.path} (render with tools/run_report.py)")
 
     if c_compiler_available():
         print("\n--- generated C code (first 25 lines of the kernel body) ---")

@@ -61,7 +61,23 @@ from .metrics import (
     reset_metrics,
     set_registry,
 )
+from .postmortem import (
+    POSTMORTEM_SCHEMA,
+    capture_postmortem,
+    field_stats,
+    install_excepthook,
+    write_postmortem,
+)
+from .recorder import (
+    FlightRecorder,
+    RecorderEvent,
+    get_recorder,
+    rank_recorder,
+    set_recorder,
+    set_thread_recorder,
+)
 from .report import export_accuracy_metrics, model_accuracy_report, model_accuracy_rows
+from .rundir import MANIFEST_SCHEMA, RunDir, get_rundir, load_manifest, set_rundir
 from .tracing import (
     PIPELINE_LAYERS,
     Span,
@@ -80,15 +96,21 @@ __all__ = [
     "CommMatrix",
     "Counter",
     "DEFAULT_BUCKETS",
+    "FlightRecorder",
     "Gauge",
     "HealthError",
     "HealthEvent",
     "HealthMonitor",
     "Histogram",
+    "MANIFEST_SCHEMA",
     "MetricsRegistry",
     "PIPELINE_LAYERS",
+    "POSTMORTEM_SCHEMA",
+    "RecorderEvent",
+    "RunDir",
     "Span",
     "Tracer",
+    "capture_postmortem",
     "comm_closure_report",
     "comm_closure_rows",
     "configure_logging",
@@ -96,21 +118,31 @@ __all__ = [
     "enable_tracing",
     "export_accuracy_metrics",
     "export_merged_trace",
+    "field_stats",
     "find_sample",
     "get_logger",
+    "get_recorder",
     "get_registry",
+    "get_rundir",
     "get_tracer",
     "imbalance_factor",
+    "install_excepthook",
     "kv",
     "load_bench_document",
+    "load_manifest",
     "merge_rank_traces",
     "model_accuracy_report",
     "model_accuracy_rows",
     "parse_prometheus",
+    "rank_recorder",
     "rank_tracer",
     "reset_metrics",
+    "set_recorder",
     "set_registry",
+    "set_rundir",
+    "set_thread_recorder",
     "set_thread_tracer",
     "set_tracer",
     "validate_bench_document",
+    "write_postmortem",
 ]

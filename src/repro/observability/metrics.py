@@ -222,9 +222,12 @@ class MetricsRegistry:
                 inst = family.instruments[key]
                 entry: dict = {"labels": dict(key)}
                 if isinstance(inst, Histogram):
+                    # count alongside mean: a 0.0 mean from zero
+                    # observations must be distinguishable from a true zero
                     entry.update(
                         sum=inst.sum,
                         count=inst.count,
+                        mean=inst.mean,
                         buckets={
                             str(b): c
                             for b, c in zip(

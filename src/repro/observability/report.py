@@ -19,6 +19,8 @@ instruments are below :mod:`repro.perfmodel` in the import graph).
 
 from __future__ import annotations
 
+import math
+
 from .metrics import get_registry
 
 __all__ = ["model_accuracy_rows", "model_accuracy_report", "export_accuracy_metrics"]
@@ -105,21 +107,21 @@ def model_accuracy_report(
 
 
 def export_accuracy_metrics(rows: list[dict], registry=None) -> None:
-    """Publish the joined rows as gauges (per-kernel predicted/measured)."""
+    """Publish the joined rows as gauges (per-kernel predicted/measured).
+
+    Non-finite values (a NaN ratio from ``predicted_mlups == 0``) are
+    skipped: Prometheus text format renders them as ``nan``, which the
+    parser round-trips but every aggregation silently poisons.
+    """
     registry = registry or get_registry()
+    gauges = (
+        ("repro_kernel_predicted_mlups", "ECM-predicted kernel rate", "predicted_mlups"),
+        ("repro_kernel_measured_mlups", "measured kernel rate", "measured_mlups"),
+        ("repro_model_accuracy_ratio", "measured/predicted MLUP/s", "ratio"),
+    )
     for r in rows:
-        registry.gauge(
-            "repro_kernel_predicted_mlups",
-            "ECM-predicted kernel rate",
-            kernel=r["kernel"],
-        ).set(r["predicted_mlups"])
-        registry.gauge(
-            "repro_kernel_measured_mlups",
-            "measured kernel rate",
-            kernel=r["kernel"],
-        ).set(r["measured_mlups"])
-        registry.gauge(
-            "repro_model_accuracy_ratio",
-            "measured/predicted MLUP/s",
-            kernel=r["kernel"],
-        ).set(r["ratio"])
+        for name, help_, key in gauges:
+            value = r[key]
+            if not math.isfinite(value):
+                continue
+            registry.gauge(name, help_, kernel=r["kernel"]).set(value)

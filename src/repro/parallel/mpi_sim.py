@@ -252,6 +252,7 @@ def run_ranks(
     *args,
     recv_timeout: float = _RECV_TIMEOUT,
     join_timeout: float = _JOIN_TIMEOUT,
+    rundir=None,
     **kwargs,
 ) -> list:
     """Run ``func(comm, *args, **kwargs)`` on *size* simulated ranks.
@@ -263,10 +264,17 @@ def run_ranks(
     *join_timeout* bounds the whole run: a rank thread still alive past it
     (stuck outside a receive, e.g. in user code) raises a :class:`RankError`
     naming the stuck rank instead of silently returning ``None`` for it.
+
+    Crash forensics match the process backend: a failing rank's flight
+    recorder is snapshotted into a post-mortem bundle, the bundles are
+    attached to the raised :class:`RankError` as ``exc.postmortems``, and
+    — under *rundir* or an ambient run directory — written as a combined
+    ``postmortem.json``.
     """
     router = _Router(size, recv_timeout=recv_timeout)
     results: list = [None] * size
     errors: list = []
+    postmortems: dict[int, dict] = {}
 
     def worker(rank: int):
         comm = SimComm(rank, router)
@@ -276,6 +284,14 @@ def run_ranks(
             router.failed.set()
             router.barrier.abort()
             errors.append((rank, exc))
+            # snapshot on the failing thread, where the thread-local
+            # rank recorder (if any) is still installed
+            try:
+                from ..observability.postmortem import capture_postmortem
+
+                postmortems[rank] = capture_postmortem(exc, rank=rank)
+            except Exception:
+                pass
 
     threads = [
         threading.Thread(target=worker, args=(r,), name=f"simrank-{r}", daemon=True)
@@ -303,7 +319,13 @@ def run_ranks(
             )
     if errors:
         rank, exc = errors[0]
-        raise RankError(f"rank {rank} failed: {exc!r}") from exc
+        if postmortems:
+            from .proc_comm import _write_postmortems
+
+            _write_postmortems(postmortems, rundir)
+        failure = RankError(f"rank {rank} failed: {exc!r}")
+        failure.postmortems = dict(postmortems)
+        raise failure from exc
     if stuck:
         # the abort unwound them without surfacing an exception — still a
         # failed run: their results arrived only after the deadline

@@ -443,6 +443,29 @@ class ProcComm(CollectiveOps):
 # -- the SPMD process runner ------------------------------------------------------
 
 
+def _write_postmortems(postmortems: dict, rundir=None) -> str | None:
+    """Write the combined multi-rank ``postmortem.json``; never raises.
+
+    Targets *rundir* (explicit), else the ambient run directory, else
+    nothing.  The document wraps per-rank bundles:
+    ``{"schema": "repro-postmortem/1", "ranks": {"3": {...}}}``.
+    """
+    try:
+        from ..observability.postmortem import POSTMORTEM_SCHEMA, write_postmortem
+        from ..observability.rundir import get_rundir
+
+        rundir = rundir if rundir is not None else get_rundir()
+        if rundir is None:
+            return None
+        document = {
+            "schema": POSTMORTEM_SCHEMA,
+            "ranks": {str(rank): bundle for rank, bundle in sorted(postmortems.items())},
+        }
+        return write_postmortem(document, rundir.postmortem_path)
+    except Exception:
+        return None  # forensics must never mask the RankError being raised
+
+
 def _worker(rank, size, func, args, kwargs, pipes, shms, result_pipes,
             barrier, failed, recv_timeout, env):
     if env:
@@ -485,7 +508,18 @@ def _worker(rank, size, func, args, kwargs, pipes, shms, result_pipes,
             barrier.abort()
         except Exception:
             pass
-        status = ("error", f"{type(exc).__name__}: {exc}", traceback.format_exc())
+        # the dying rank's forensics ride the result pipe to the parent:
+        # a bare "rank 3 failed" becomes a bundle naming the step, the
+        # last kernel dispatched and the field state at death
+        try:
+            from ..observability.postmortem import capture_postmortem
+
+            bundle = capture_postmortem(exc, rank=rank)
+        except Exception:
+            bundle = None
+        status = (
+            "error", f"{type(exc).__name__}: {exc}", traceback.format_exc(), bundle
+        )
     # buffered sends a peer has not yet consumed must survive this rank's
     # exit (MPI buffered-send semantics): drain the sender thread before
     # reporting — socketpair data stays readable after the writer exits
@@ -520,6 +554,7 @@ def run_ranks_processes(
     join_timeout: float = _JOIN_TIMEOUT,
     slab_bytes: int = _DEFAULT_SLAB_BYTES,
     env: dict | None = None,
+    rundir=None,
     **kwargs,
 ) -> list:
     """Run ``func(comm, *args, **kwargs)`` on *size* real-process ranks.
@@ -530,6 +565,14 @@ def run_ranks_processes(
     ranks still running after *join_timeout*.  *slab_bytes* sizes each
     directed shared-memory ghost-buffer slab; *env* is applied inside every
     worker before the rank program runs (e.g. ``OMP_NUM_THREADS``).
+
+    Crash forensics: a dying worker captures a post-mortem bundle (last
+    events, open spans, field stats — see
+    :mod:`repro.observability.postmortem`) and pickles it back over its
+    result pipe.  The bundles are attached to the raised
+    :class:`RankError` as ``exc.postmortems`` (``{rank: bundle}``) and —
+    when *rundir* or the ambient :func:`repro.observability.rundir.get_rundir`
+    is set — written as a combined ``postmortem.json``.
 
     Requires the ``fork`` start method: rank programs are typically
     closures over kernel sets and forests that never need to pickle, and a
@@ -583,6 +626,7 @@ def run_ranks_processes(
 
         results: list = [None] * size
         errors: list[tuple[int, RankError]] = []
+        postmortems: dict[int, dict] = {}
         remaining = {result_pipes[r][0]: r for r in range(size)}
         deadline = monotonic() + join_timeout
         while remaining:
@@ -606,6 +650,10 @@ def run_ranks_processes(
                 else:
                     detail = msg[1] + (f"\n{msg[2]}" if msg[2] else "")
                     errors.append((r, RankError(detail)))
+                    # the 4th element (when present) is the worker's
+                    # post-mortem bundle; older 3-tuples stay accepted
+                    if len(msg) > 3 and isinstance(msg[3], dict):
+                        postmortems[r] = msg[3]
         if remaining:
             failed.set()
             stuck = sorted(remaining.values())
@@ -625,7 +673,11 @@ def run_ranks_processes(
                 (e for e in errors if "another rank failed" not in str(e[1])),
                 errors[0],
             )
-            raise RankError(f"rank {rank} failed: {exc}") from exc
+            if postmortems:
+                _write_postmortems(postmortems, rundir)
+            failure = RankError(f"rank {rank} failed: {exc}")
+            failure.postmortems = postmortems
+            raise failure from exc
         return results
     finally:
         for p in procs:
@@ -657,6 +709,7 @@ def launch_ranks(
     join_timeout: float = _JOIN_TIMEOUT,
     slab_bytes: int = _DEFAULT_SLAB_BYTES,
     env: dict | None = None,
+    rundir=None,
     **kwargs,
 ) -> list:
     """Run an SPMD rank program on the chosen runtime; one call, three backends.
@@ -673,18 +726,23 @@ def launch_ranks(
       other backends (the full list, on every rank).
 
     Returns the list of per-rank results; rank failures raise
-    :class:`~repro.parallel.mpi_sim.RankError` on every backend.
+    :class:`~repro.parallel.mpi_sim.RankError` on every backend.  With a
+    *rundir* (or an ambient one from :class:`repro.observability.RunDir`'s
+    context manager), the sim and process backends write crash post-mortem
+    bundles to ``<rundir>/postmortem.json``; the mpi4py backend does not —
+    a crashed MPI rank is torn down by ``mpirun`` before any capture hop.
     """
     if backend == "sim":
         return run_ranks(
             size, func, *args,
-            recv_timeout=recv_timeout, join_timeout=join_timeout, **kwargs,
+            recv_timeout=recv_timeout, join_timeout=join_timeout,
+            rundir=rundir, **kwargs,
         )
     if backend == "process":
         return run_ranks_processes(
             size, func, *args,
             recv_timeout=recv_timeout, join_timeout=join_timeout,
-            slab_bytes=slab_bytes, env=env, **kwargs,
+            slab_bytes=slab_bytes, env=env, rundir=rundir, **kwargs,
         )
     if backend == "mpi4py":
         from .mpi_adapter import MPI4PyComm, mpi4py_available

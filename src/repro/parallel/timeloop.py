@@ -27,6 +27,7 @@ from ..observability.distributed import CommMatrix
 from ..observability.health import HealthMonitor
 from ..observability.log import get_logger, kv
 from ..observability.metrics import get_registry
+from ..observability.recorder import get_recorder
 from ..observability.tracing import get_tracer
 from ..pfm.model import PhaseFieldKernelSet
 from ..profiling import SolverProfiler, compile_cached
@@ -72,6 +73,7 @@ class DistributedSolver:
         overlap: bool = False,
         ghost_layers: int | None = None,
         backend: str = "numpy",
+        rundir=None,
     ):
         self.kernel_set = kernel_set
         self.model = kernel_set.model
@@ -172,6 +174,23 @@ class DistributedSolver:
             "repro_exchange_bytes_total", "ghost-layer bytes sent to remote ranks",
             rank=self.rank,
         )
+        # flight-recorder integration: per-block field stats at crash time,
+        # and (under a RunDir) a rank-suffixed event journal so a dead rank
+        # leaves its last events on disk even if the pipe hop fails too
+        self.rundir = rundir
+        recorder = get_recorder()
+        recorder.set_state_provider(self._recorder_state)
+        if rundir is not None:
+            if self.rank == 0:
+                rundir.note(
+                    solver="distributed", backend=backend,
+                    ranks=self.n_ranks, overlap=self.overlap,
+                    forest=str(forest.global_shape),
+                )
+            journal_rank = self.rank if self.n_ranks > 1 else None
+            recorder.open_journal(rundir.journal_path(journal_rank))
+            if health is not None:
+                rundir.attach_health(health)
         _log.info(
             kv(
                 "solver_created",
@@ -182,6 +201,15 @@ class DistributedSolver:
                 health=health is not None,
             )
         )
+
+    def _recorder_state(self) -> dict:
+        """Live per-block φ/µ views for crash post-mortem field stats."""
+        state = {}
+        for coords, block in self.blocks.items():
+            tag = "_".join(str(c) for c in coords)
+            state[f"phi[block {tag}]"] = block.arrays["phi"]
+            state[f"mu[block {tag}]"] = block.arrays["mu"]
+        return state
 
     # -- initialization -------------------------------------------------------
 
@@ -211,18 +239,26 @@ class DistributedSolver:
         tag = "block_" + "_".join(str(c) for c in coords)
         return base.with_name(f"{base.stem}.{tag}.npz")
 
-    def save_checkpoint(self, path) -> list:
+    def save_checkpoint(self, path=None) -> list:
         """Write one ``.npz`` per owned block next to the normalized *path*.
 
         Block ``(i, j, ...)`` lands in ``<stem>.block_i_j.npz`` holding the
         interior φ/µ plus time and step, so a restart with any rank count
-        (over the same forest) can reassemble the state.  Returns the paths
-        written by this rank.
+        (over the same forest) can reassemble the state.  With no *path*
+        and an attached :class:`RunDir`, blocks land under
+        ``<rundir>/checkpoints/``.  Returns the paths written by this rank.
         """
         from ..analysis.io import save_snapshot, snapshot_path
 
+        if path is None:
+            if self.rundir is None:
+                raise ValueError("save_checkpoint needs a path (no RunDir attached)")
+            path = self.rundir.checkpoint_dir / f"step{self.time_step:08d}"
         self._finish_pending()
         base = snapshot_path(path)
+        get_recorder().record(
+            "checkpoint", str(base), time_step=self.time_step, blocks=len(self.blocks)
+        )
         gl = self.ghost_layers
         sl = (slice(gl, -gl),) * self.forest.dim
         written = []
@@ -372,6 +408,12 @@ class DistributedSolver:
             self._finish_exchange(ex)
 
     def _run(self, compiled, block: Block) -> None:
+        # dispatch recorded BEFORE the sweep: a crashing kernel is the
+        # post-mortem's last event (see SingleBlockSolver._run)
+        get_recorder().record(
+            "kernel", compiled.name,
+            time_step=self.time_step, block=list(block.coords),
+        )
         cells = self._cells_per_block.get(tuple(block.coords), 0)
         sub = getattr(getattr(compiled, "kernel", None), "subspace", None)
         if sub is not None:
@@ -427,8 +469,11 @@ class DistributedSolver:
 
     def step(self, n_steps: int = 1) -> None:
         tracer = get_tracer()
+        recorder = get_recorder()
         for _ in range(n_steps):
             t0 = perf_counter()
+            begin_step = self.time_step
+            recorder.step_begin(begin_step, rank=self.rank)
             with tracer.span(
                 "step",
                 category="runtime",
@@ -460,6 +505,7 @@ class DistributedSolver:
                 if self.health is not None and self.health.due(self.time_step):
                     self._check_health()
             dt = perf_counter() - t0
+            recorder.step_end(begin_step, dt)
             self.step_seconds += dt
             self._step_latency.observe(dt)
 
@@ -486,6 +532,8 @@ class DistributedSolver:
 
         if every < 1:
             raise ValueError("every must be >= 1")
+        if csv_path is None and self.rundir is not None:
+            csv_path = self.rundir.diagnostics_path
         if suite is None:
             suite = DiagnosticsSuite.for_model(self.model)
         self._diag_suite = suite
@@ -672,6 +720,34 @@ class DistributedSolver:
         self.profiler.export_metrics(
             registry, solver="distributed", rank=self.rank
         )
+
+    def export_comm_matrix(self, path=None) -> str | None:
+        """Write the merged comm matrix as JSON (``comm_matrix.json``).
+
+        Collective under a communicator (allgather of the per-rank
+        matrices); rank 0 writes — to *path*, or the attached RunDir's
+        canonical location — and returns the path, other ranks return
+        ``None``.
+        """
+        import json
+
+        self._finish_pending()
+        matrix = CommMatrix(self.n_ranks)
+        if self.comm is not None:
+            for other in self.comm.allgather(self.comm_matrix):
+                matrix.merge(other)
+        else:
+            matrix.merge(self.comm_matrix)
+        if self.rank != 0:
+            return None
+        if path is None:
+            if self.rundir is None:
+                raise ValueError("export_comm_matrix needs a path (no RunDir attached)")
+            path = self.rundir.comm_matrix_path
+        with open(path, "w") as handle:
+            json.dump(matrix.to_json(), handle, indent=1)
+            handle.write("\n")
+        return str(path)
 
     # -- gathering -----------------------------------------------------------------
 

@@ -23,6 +23,7 @@ from ..backends.numpy_backend import create_arrays
 from ..observability.health import HealthMonitor
 from ..observability.log import get_logger, kv
 from ..observability.metrics import get_registry
+from ..observability.recorder import get_recorder
 from ..observability.tracing import get_tracer
 from ..parallel.boundary import fill_ghosts
 from ..profiling import SolverProfiler, compile_cached
@@ -50,6 +51,7 @@ class SingleBlockSolver:
         backend: str = "numpy",
         health: HealthMonitor | None = None,
         ghost_layers: int | None = None,
+        rundir=None,
     ):
         self.kernel_set = kernel_set
         self.model: GrandPotentialModel = kernel_set.model
@@ -92,6 +94,19 @@ class SingleBlockSolver:
         self._step_latency = get_registry().histogram(
             "repro_step_seconds", "wall time per solver time step", solver="single"
         )
+        # flight-recorder integration: field stats at crash time come from
+        # the live arrays; with a RunDir the event journal and health log
+        # land in the bundle alongside checkpoints and diagnostics
+        self.rundir = rundir
+        recorder = get_recorder()
+        recorder.set_state_provider(
+            lambda: {"phi": self.arrays["phi"], "mu": self.arrays["mu"]}
+        )
+        if rundir is not None:
+            rundir.note(solver="single", backend=backend, shape=list(self.shape))
+            recorder.open_journal(rundir.journal_path(recorder.rank))
+            if health is not None:
+                rundir.attach_health(health)
         _log.info(
             kv(
                 "solver_created",
@@ -140,6 +155,9 @@ class SingleBlockSolver:
             )
 
     def _run(self, compiled, **extra) -> None:
+        # dispatch is recorded BEFORE the sweep runs, so a kernel that
+        # crashes (or wedges) is named by the post-mortem's last event
+        get_recorder().record("kernel", compiled.name, time_step=self.time_step)
         with self.profiler.measure(compiled.name, cells=self._cells_per_sweep):
             compiled(
                 self.arrays,
@@ -161,16 +179,25 @@ class SingleBlockSolver:
             raise ValueError("every must be >= 1")
         self._callbacks.append((int(every), fn))
 
-    def save_checkpoint(self, path):
+    def save_checkpoint(self, path=None):
         """Write φ, µ and the time state to a compressed checkpoint.
 
-        Returns the actual file path (``.npz`` is appended when missing, the
-        same normalization :meth:`load_checkpoint` applies).
+        With no *path* and an attached :class:`RunDir`, the checkpoint goes
+        to ``<rundir>/checkpoints/step<NNNNNNNN>``.  Returns the actual
+        file path (``.npz`` is appended when missing, the same
+        normalization :meth:`load_checkpoint` applies).
         """
         from ..analysis.io import save_snapshot
 
+        if path is None:
+            if self.rundir is None:
+                raise ValueError("save_checkpoint needs a path (no RunDir attached)")
+            path = self.rundir.checkpoint_dir / f"step{self.time_step:08d}"
         written = save_snapshot(
             path, self.phi.copy(), self.mu.copy(), self.time, self.time_step
+        )
+        get_recorder().record(
+            "checkpoint", str(written), time_step=self.time_step
         )
         _log.info(kv("checkpoint_saved", path=written, step=self.time_step))
         return written
@@ -217,6 +244,8 @@ class SingleBlockSolver:
 
         if every < 1:
             raise ValueError("every must be >= 1")
+        if csv_path is None and self.rundir is not None:
+            csv_path = self.rundir.diagnostics_path
         if suite is None:
             suite = DiagnosticsSuite.for_model(self.model)
         self._diag_suite = suite
@@ -263,8 +292,11 @@ class SingleBlockSolver:
     def step(self, n_steps: int = 1) -> None:
         """Advance the solution by *n_steps* explicit Euler steps."""
         tracer = get_tracer()
+        recorder = get_recorder()
         for _ in range(n_steps):
             t0 = perf_counter()
+            begin_step = self.time_step
+            recorder.step_begin(begin_step)
             with tracer.span("step", category="runtime", time_step=self.time_step):
                 for k in self._phi:
                     self._run(k)
@@ -300,7 +332,9 @@ class SingleBlockSolver:
                 for every, fn in self._callbacks:
                     if self.time_step % every == 0:
                         fn(self)
-            self._step_latency.observe(perf_counter() - t0)
+            seconds = perf_counter() - t0
+            recorder.step_end(begin_step, seconds)
+            self._step_latency.observe(seconds)
 
     # -- diagnostics ----------------------------------------------------------
 

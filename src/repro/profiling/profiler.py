@@ -25,6 +25,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from time import perf_counter
 
+from ..observability.recorder import get_recorder
 from ..observability.tracing import get_tracer
 from ..perfmodel.report import format_table, report_header
 
@@ -98,6 +99,19 @@ class SolverProfiler:
             tracer.add_event(
                 name, category="runtime", start=end - seconds, end=end, args=args
             )
+        # the profiler is also the single event source for the flight
+        # recorder: every kernel sweep, ghost-exchange phase and fill
+        # becomes one "op" event in the ring (and the crash post-mortem)
+        recorder = get_recorder()
+        if recorder.enabled:
+            data = {"seconds": seconds}
+            if cells:
+                data["cells"] = cells
+            if nbytes:
+                data["bytes"] = nbytes
+            if messages:
+                data["messages"] = messages
+            recorder.record("op", name, **data)
 
     @contextmanager
     def measure(self, name: str, cells: int = 0, nbytes: int = 0):

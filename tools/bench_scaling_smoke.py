@@ -53,6 +53,7 @@ sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 from repro.backends.c_backend import c_compiler_available  # noqa: E402
 from repro.observability.bench import BenchWriter  # noqa: E402
+from repro.observability.recorder import get_recorder  # noqa: E402
 from repro.parallel import (  # noqa: E402
     BlockForest,
     DistributedSolver,
@@ -82,6 +83,7 @@ RANK_COUNTS = (1, 2, 4)
 REPEATS = 3               # best-of, to tame shared-runner noise
 OVERLAP_HEADROOM = 1.15   # allowed sync/overlap noise ratio before failing
 REAL_SPEEDUP_FLOOR = 1.3  # required 4-rank process-backend speedup (>=4 cores)
+OVERHEAD_BUDGET = 0.05    # flight-recorder cost must stay under 5% of step time
 #: each rank is pinned to one OpenMP thread so the real-parallel speedup
 #: measures rank scaling, not a changing threads-per-rank mix
 _RANK_ENV = {"OMP_NUM_THREADS": "1"}
@@ -224,6 +226,36 @@ def main(argv=None) -> int:
                 f"{sync_s / STEPS * 1e3:.2f} ms by more than "
                 f"{(OVERLAP_HEADROOM - 1) * 100:.0f}%"
             )
+
+    # flight-recorder overhead gate: one more instrumented 1-rank run with
+    # the overhead counter snapshotted around it — the always-on recorder
+    # must cost < OVERHEAD_BUDGET of the wall time it instruments
+    recorder = get_recorder()
+    overhead_before = recorder.overhead_seconds
+    t0 = perf_counter()
+    _measure_sim(kernels, params, 1, overlap=False)
+    overhead_wall = perf_counter() - t0
+    overhead_fraction = (recorder.overhead_seconds - overhead_before) / overhead_wall
+    recorder.publish_overhead()
+    writer.add(
+        "observability_overhead",
+        params={
+            "ranks": 1,
+            "domain": "x".join(map(str, GLOBAL_SHAPE)),
+            "steps": STEPS,
+            "backend": BACKEND,
+        },
+        observability_overhead_fraction=overhead_fraction,
+    )
+    print(
+        f"flight-recorder overhead: {overhead_fraction * 100:.3f}% of wall "
+        f"(budget {OVERHEAD_BUDGET * 100:.0f}%)"
+    )
+    if overhead_fraction > OVERHEAD_BUDGET:
+        failures.append(
+            f"flight-recorder overhead {overhead_fraction * 100:.2f}% of step "
+            f"wall time exceeds the {OVERHEAD_BUDGET * 100:.0f}% budget"
+        )
 
     if measure_real:
         top = RANK_COUNTS[-1]

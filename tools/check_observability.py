@@ -4,6 +4,7 @@
 Usage::
 
     python tools/check_observability.py trace.json metrics.prom [diagnostics.csv]
+        [--manifest RUNDIR] [--require-overhead-gauge]
 
 Checks that
 
@@ -17,13 +18,20 @@ Checks that
   the core kernel/cache/throughput families;
 * ``diagnostics.csv`` (optional) is a physics-diagnostics time series
   with a monotonically non-increasing ``free_energy`` column — the
-  variational-structure invariant for isothermal noise-free runs.
+  variational-structure invariant for isothermal noise-free runs;
+* with ``--manifest RUNDIR``: the run directory's ``manifest.json`` is a
+  complete ``repro-run/1`` document (schema, status, git/host/config
+  blocks) and every artifact it lists actually exists on disk;
+* with ``--require-overhead-gauge``: ``metrics.prom`` carries the
+  flight recorder's self-measured
+  ``repro_observability_overhead_seconds`` gauge.
 
 Exits non-zero with a message on the first violation, so it can gate CI.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
@@ -31,6 +39,8 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.observability import parse_prometheus  # noqa: E402
+from repro.observability.recorder import OVERHEAD_GAUGE  # noqa: E402
+from repro.observability.rundir import load_manifest  # noqa: E402
 
 REQUIRED_CATEGORIES = {
     "functional",
@@ -109,7 +119,7 @@ def check_trace(path: Path) -> None:
     )
 
 
-def check_metrics(path: Path) -> None:
+def check_metrics(path: Path, require_overhead: bool = False) -> None:
     try:
         parsed = parse_prometheus(path.read_text())
     except (OSError, ValueError) as exc:
@@ -119,8 +129,51 @@ def check_metrics(path: Path) -> None:
     missing = REQUIRED_FAMILIES - set(parsed)
     if missing:
         fail(f"{path}: metric families missing: {sorted(missing)}")
+    if require_overhead and OVERHEAD_GAUGE not in parsed:
+        fail(
+            f"{path}: {OVERHEAD_GAUGE} gauge missing — the flight recorder "
+            f"did not publish its self-measured overhead"
+        )
     n_samples = sum(len(f["samples"]) for f in parsed.values())
     print(f"check_observability: {path}: {len(parsed)} families, {n_samples} samples")
+
+
+#: manifest keys a complete repro-run/1 document must carry
+REQUIRED_MANIFEST_KEYS = {
+    "schema", "status", "started_at", "wall_seconds",
+    "host", "config", "artifacts",
+}
+
+
+def check_manifest(rundir: Path) -> None:
+    try:
+        manifest = load_manifest(rundir)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        fail(f"{rundir}: manifest not loadable ({exc})")
+    missing = REQUIRED_MANIFEST_KEYS - set(manifest)
+    if missing:
+        fail(f"{rundir}: manifest keys missing: {sorted(missing)}")
+    if manifest["status"] not in ("ok", "crashed", "running"):
+        fail(f"{rundir}: unexpected manifest status {manifest['status']!r}")
+    host = manifest["host"]
+    if not isinstance(host, dict) or not {"hostname", "platform", "python"} <= set(host):
+        fail(f"{rundir}: manifest host block incomplete ({host!r})")
+    base = rundir if rundir.is_dir() else rundir.parent
+    stale = []
+    for key, value in manifest["artifacts"].items():
+        names = value if isinstance(value, list) else [value]
+        for name in names:
+            target = (base / "checkpoints" / name) if key == "checkpoints" else base / name
+            if not target.exists():
+                stale.append(f"{key} -> {name}")
+    if stale:
+        fail(f"{rundir}: manifest lists artifacts that do not exist: {stale}")
+    print(
+        f"check_observability: {rundir}: manifest ok "
+        f"(status={manifest['status']}, "
+        f"{len(manifest['artifacts'])} artifacts, "
+        f"wall {manifest['wall_seconds']:.2f}s)"
+    )
 
 
 def check_diagnostics(path: Path) -> None:
@@ -156,13 +209,22 @@ def check_diagnostics(path: Path) -> None:
 
 
 def main(argv: list[str]) -> None:
-    if len(argv) not in (2, 3):
-        print(__doc__)
-        sys.exit(2)
-    check_trace(Path(argv[0]))
-    check_metrics(Path(argv[1]))
-    if len(argv) == 3:
-        check_diagnostics(Path(argv[2]))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("trace", help="Chrome-trace JSON to validate")
+    parser.add_argument("metrics", help="Prometheus text-format snapshot")
+    parser.add_argument("diagnostics", nargs="?",
+                        help="optional physics-diagnostics CSV")
+    parser.add_argument("--manifest", metavar="RUNDIR",
+                        help="also validate RUNDIR/manifest.json completeness")
+    parser.add_argument("--require-overhead-gauge", action="store_true",
+                        help=f"require the {OVERHEAD_GAUGE} gauge in the metrics")
+    args = parser.parse_args(argv)
+    check_trace(Path(args.trace))
+    check_metrics(Path(args.metrics), require_overhead=args.require_overhead_gauge)
+    if args.diagnostics:
+        check_diagnostics(Path(args.diagnostics))
+    if args.manifest:
+        check_manifest(Path(args.manifest))
     print("check_observability: OK")
 
 

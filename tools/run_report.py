@@ -1,0 +1,463 @@
+#!/usr/bin/env python3
+"""Render a RunDir manifest into one self-contained HTML run report.
+
+Usage::
+
+    python tools/run_report.py <rundir-or-manifest.json> [--out report.html]
+
+Every section renders only when its artifact exists, so the same tool
+covers a minimal trace-only run and a full multi-rank bundle:
+
+* run summary (status, config, git rev, host, backend, ranks, wall time)
+* step-time sparkline from the flight-recorder journal (``step_end``
+  events; falls back to Chrome-trace ``step`` spans)
+* physics diagnostics series (``diagnostics.csv``) as inline SVG charts
+* model-accuracy closure (predicted vs measured MLUP/s gauges from
+  ``metrics.prom``)
+* communication matrix (``comm_matrix.json``)
+* health events (``health.jsonl``)
+* crash post-mortems (``postmortem.json``) — rank, step, last kernel,
+  field stats, traceback
+
+The output is a single HTML file with inline CSS and SVG — no external
+assets, so it can be attached to a CI run or mailed around as-is.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import html
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.observability.metrics import find_sample, parse_prometheus  # noqa: E402
+from repro.observability.rundir import load_manifest  # noqa: E402
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 70rem; color: #1a1a2e; }
+h1 { border-bottom: 2px solid #16324f; padding-bottom: .3rem; }
+h2 { color: #16324f; margin-top: 2rem; }
+table { border-collapse: collapse; margin: .5rem 0; }
+th, td { border: 1px solid #c8d1dc; padding: .25rem .6rem; text-align: right; }
+th { background: #eef2f7; }
+td.l, th.l { text-align: left; }
+.ok { color: #15803d; font-weight: 600; }
+.crashed { color: #b91c1c; font-weight: 600; }
+.running { color: #b45309; font-weight: 600; }
+.muted { color: #6b7280; font-size: .9rem; }
+pre { background: #f6f8fa; padding: .75rem; overflow-x: auto;
+      border: 1px solid #c8d1dc; font-size: .85rem; }
+svg { background: #fbfcfe; border: 1px solid #c8d1dc; }
+.section-missing { color: #9ca3af; font-style: italic; }
+"""
+
+
+def esc(value) -> str:
+    return html.escape(str(value))
+
+
+def fmt(value, digits: int = 3) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}" if abs(value) < 1e-3 or abs(value) >= 1e4 \
+            else f"{value:.{digits}f}"
+    return str(value)
+
+
+def table(headers, rows, left: set | None = None) -> str:
+    left = left or {0}
+    out = ["<table><tr>"]
+    for i, h in enumerate(headers):
+        cls = ' class="l"' if i in left else ""
+        out.append(f"<th{cls}>{esc(h)}</th>")
+    out.append("</tr>")
+    for row in rows:
+        out.append("<tr>")
+        for i, cell in enumerate(row):
+            cls = ' class="l"' if i in left else ""
+            out.append(f"<td{cls}>{esc(cell)}</td>")
+        out.append("</tr>")
+    out.append("</table>")
+    return "".join(out)
+
+
+def svg_line_chart(series, width=640, height=120, label="") -> str:
+    """Inline SVG polyline of one numeric series (a sparkline with axes)."""
+    points = [float(v) for v in series if v is not None]
+    if len(points) < 2:
+        return '<p class="section-missing">(not enough points to chart)</p>'
+    lo, hi = min(points), max(points)
+    span = (hi - lo) or 1.0
+    pad = 6
+    n = len(points)
+    coords = []
+    for i, v in enumerate(points):
+        x = pad + i * (width - 2 * pad) / (n - 1)
+        y = height - pad - (v - lo) * (height - 2 * pad) / span
+        coords.append(f"{x:.1f},{y:.1f}")
+    return (
+        f'<svg width="{width}" height="{height}" role="img" aria-label="{esc(label)}">'
+        f'<polyline fill="none" stroke="#16324f" stroke-width="1.5" '
+        f'points="{" ".join(coords)}"/>'
+        f'<text x="{pad}" y="12" font-size="10" fill="#6b7280">'
+        f"{esc(label)} — min {fmt(lo)}, max {fmt(hi)}, last {fmt(points[-1])}</text>"
+        "</svg>"
+    )
+
+
+# -- artifact loaders (every one returns None when the artifact is absent) -------
+
+
+def load_step_seconds(rundir: Path, manifest: dict) -> list[float] | None:
+    """Per-step wall times: journal ``step_end`` events, else trace spans."""
+    journals = [rundir / "journal.jsonl"]
+    journals += sorted(rundir.glob("journal.rank*.jsonl"))
+    for journal in journals:
+        if not journal.exists():
+            continue
+        seconds = []
+        with open(journal) as fh:
+            for line in fh:
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # a crash can truncate the final line
+                if event.get("kind") == "step_end" and "seconds" in event.get("data", {}):
+                    seconds.append(float(event["data"]["seconds"]))
+        if seconds:
+            return seconds
+    trace = rundir / "trace.json"
+    if trace.exists():
+        try:
+            doc = json.loads(trace.read_text())
+        except json.JSONDecodeError:
+            return None
+        seconds = [
+            e["dur"] / 1e6
+            for e in doc.get("traceEvents", [])
+            if e.get("ph") == "X" and e.get("name") == "step"
+        ]
+        if seconds:
+            return seconds
+    return None
+
+
+def load_diagnostics(rundir: Path) -> tuple[list[str], dict] | None:
+    path = rundir / "diagnostics.csv"
+    if not path.exists():
+        return None
+    with open(path) as fh:
+        reader = csv.DictReader(fh)
+        names = [n for n in (reader.fieldnames or []) if n not in ("time_step", "time")]
+        columns: dict[str, list] = {n: [] for n in names}
+        steps = []
+        for row in reader:
+            steps.append(row.get("time_step"))
+            for n in names:
+                try:
+                    columns[n].append(float(row[n]))
+                except (KeyError, TypeError, ValueError):
+                    columns[n].append(None)
+    if not steps:
+        return None
+    return names, columns
+
+
+def load_metrics(rundir: Path) -> dict | None:
+    path = rundir / "metrics.prom"
+    if not path.exists():
+        return None
+    try:
+        return parse_prometheus(path.read_text())
+    except ValueError:
+        return None
+
+
+def load_json(path: Path):
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return None
+
+
+def load_health(rundir: Path) -> list[dict] | None:
+    path = rundir / "health.jsonl"
+    if not path.exists():
+        return None
+    events = []
+    with open(path) as fh:
+        for line in fh:
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return events
+
+
+# -- sections --------------------------------------------------------------------
+
+
+def section_summary(manifest: dict) -> str:
+    status = manifest.get("status", "unknown")
+    host = manifest.get("host", {})
+    rows = [
+        ("status", f'<span class="{esc(status)}">{esc(status)}</span>'),
+        ("wall time", f"{manifest.get('wall_seconds', 0):.2f} s"),
+        ("git sha", (manifest.get("git_sha") or "-")[:12]),
+        ("host", host.get("hostname", "-")),
+        ("platform", host.get("platform", "-")),
+        ("python", host.get("python", "-")),
+        ("started",
+         time.strftime("%Y-%m-%d %H:%M:%S UTC",
+                       time.gmtime(manifest.get("started_at", 0)))),
+    ]
+    for key in ("solver", "backend", "ranks", "overlap", "example", "forest", "shape"):
+        if key in manifest:
+            rows.append((key, esc(manifest[key])))
+    if manifest.get("error"):
+        rows.append(("error", esc(manifest["error"])))
+    body = "".join(
+        f'<tr><th class="l">{k}</th><td class="l">{v}</td></tr>' for k, v in rows
+    )
+    config = manifest.get("config") or {}
+    config_html = (
+        f"<pre>{esc(json.dumps(config, indent=2))}</pre>" if config else ""
+    )
+    return f"<h2>Run summary</h2><table>{body}</table>{config_html}"
+
+
+def section_steps(step_seconds) -> str:
+    out = ["<h2>Step time</h2>"]
+    if not step_seconds:
+        out.append('<p class="section-missing">(no step timings recorded)</p>')
+        return "".join(out)
+    total = sum(step_seconds)
+    mean = total / len(step_seconds)
+    out.append(
+        f'<p class="muted">{len(step_seconds)} steps, mean '
+        f"{mean * 1e3:.3f} ms, total {total:.3f} s</p>"
+    )
+    out.append(svg_line_chart(
+        [s * 1e3 for s in step_seconds], label="step wall time (ms)"
+    ))
+    return "".join(out)
+
+
+def section_diagnostics(diag) -> str:
+    out = ["<h2>Physics diagnostics</h2>"]
+    if diag is None:
+        out.append('<p class="section-missing">(no diagnostics.csv)</p>')
+        return "".join(out)
+    names, columns = diag
+    for name in names:
+        out.append(svg_line_chart(columns[name], label=name))
+        out.append("<br>")
+    return "".join(out)
+
+
+def section_accuracy(metrics) -> str:
+    out = ["<h2>Model accuracy (predicted vs measured)</h2>"]
+    if metrics is None or "repro_kernel_measured_mlups" not in metrics:
+        out.append('<p class="section-missing">(no model-accuracy gauges '
+                   "in metrics.prom)</p>")
+        return "".join(out)
+    kernels = sorted({
+        labels.get("kernel")
+        for _, labels, _ in metrics["repro_kernel_measured_mlups"]["samples"]
+        if labels.get("kernel")
+    })
+    rows = []
+    for kernel in kernels:
+        predicted = find_sample(metrics, "repro_kernel_predicted_mlups", kernel=kernel)
+        measured = find_sample(metrics, "repro_kernel_measured_mlups", kernel=kernel)
+        ratio = find_sample(metrics, "repro_model_accuracy_ratio", kernel=kernel)
+        rows.append((kernel, fmt(predicted), fmt(measured), fmt(ratio)))
+    out.append(table(
+        ["kernel", "predicted MLUP/s", "measured MLUP/s", "measured/predicted"], rows
+    ))
+    return "".join(out)
+
+
+def section_overhead(metrics) -> str:
+    if metrics is None:
+        return ""
+    overhead = find_sample(metrics, "repro_observability_overhead_seconds")
+    if overhead is None:
+        return ""
+    return (
+        f'<p class="muted">flight-recorder overhead (self-measured): '
+        f"{overhead * 1e3:.3f} ms total</p>"
+    )
+
+
+def section_comm(comm) -> str:
+    out = ["<h2>Communication matrix</h2>"]
+    if comm is None:
+        out.append('<p class="section-missing">(no comm_matrix.json)</p>')
+        return "".join(out)
+    n = comm.get("n_ranks", 0)
+    rows = []
+    for src in range(n):
+        row = [f"rank {src}"]
+        for dst in range(n):
+            b = comm["bytes"][src][dst]
+            row.append(f"{b / 1024:.1f}" if b else "·")
+        row.append(f"{sum(comm['bytes'][src]) / 1024:.1f}")
+        row.append(str(sum(comm["messages"][src])))
+        rows.append(row)
+    out.append(table(
+        ["src \\ dst (KiB)"] + [str(d) for d in range(n)] + ["Σ sent", "msgs"], rows
+    ))
+    imbalance = comm.get("imbalance")
+    out.append(
+        f'<p class="muted">total {comm.get("total_bytes", 0) / 1024:.1f} KiB in '
+        f'{comm.get("total_messages", 0)} messages'
+        + (f", byte imbalance max/mean = {imbalance:.3f}" if imbalance else "")
+        + "</p>"
+    )
+    return "".join(out)
+
+
+def section_health(events) -> str:
+    out = ["<h2>Health events</h2>"]
+    if events is None:
+        out.append('<p class="section-missing">(no health.jsonl — '
+                   "watchdog disabled or no events)</p>")
+        return "".join(out)
+    if not events:
+        out.append('<p class="ok">no failed health checks</p>')
+        return "".join(out)
+    rows = [
+        (e.get("time_step"), e.get("check"), e.get("field"),
+         e.get("message"), e.get("where") or "-")
+        for e in events
+    ]
+    out.append(table(["step", "check", "field", "message", "where"],
+                     rows, left={1, 2, 3, 4}))
+    return "".join(out)
+
+
+def _bundle_rows(bundle: dict) -> str:
+    exc = bundle.get("exception") or {}
+    last = bundle.get("last_kernel") or {}
+    rows = [
+        ("rank", bundle.get("rank", "-")),
+        ("step", (bundle.get("position") or {}).get("time_step", "-")),
+        ("exception", f"{exc.get('type', '-')}: {exc.get('message', '')}"),
+        ("last kernel", last.get("name", "-")),
+        ("events captured", len(bundle.get("last_events") or [])),
+        ("pid / host", f"{bundle.get('pid', '-')} / {bundle.get('host', '-')}"),
+    ]
+    body = "".join(
+        f'<tr><th class="l">{esc(k)}</th><td class="l">{esc(v)}</td></tr>'
+        for k, v in rows
+    )
+    parts = [f"<table>{body}</table>"]
+    fields = bundle.get("fields") or {}
+    if fields and "error" not in fields:
+        frows = []
+        for name, st in sorted(fields.items()):
+            if not isinstance(st, dict):
+                continue
+            frows.append((
+                name, fmt(st.get("min")), fmt(st.get("max")), fmt(st.get("mean")),
+                st.get("nan_count", "-"), st.get("inf_count", "-"),
+            ))
+        if frows:
+            parts.append("<h4>Field state at death</h4>")
+            parts.append(table(
+                ["field", "min", "max", "mean", "NaN", "Inf"], frows
+            ))
+    tail = bundle.get("last_events") or []
+    if tail:
+        shown = tail[-15:]
+        lines = [
+            f"#{e.get('seq', '?'):>6}  {e.get('kind', ''):<12} "
+            f"{e.get('name', '')}  {json.dumps(e.get('data', {}))}"
+            for e in shown
+        ]
+        parts.append(f"<h4>Last {len(shown)} events</h4>"
+                     f"<pre>{esc(chr(10).join(lines))}</pre>")
+    if exc.get("traceback"):
+        parts.append(f"<h4>Traceback</h4><pre>{esc(exc['traceback'])}</pre>")
+    return "".join(parts)
+
+
+def section_postmortem(postmortem) -> str:
+    out = ["<h2>Crash post-mortem</h2>"]
+    if postmortem is None:
+        out.append('<p class="ok">no post-mortems — the run did not crash</p>')
+        return "".join(out)
+    if "ranks" in postmortem:
+        for rank, bundle in sorted(postmortem["ranks"].items()):
+            out.append(f"<h3>Rank {esc(rank)}</h3>")
+            out.append(_bundle_rows(bundle))
+    else:
+        out.append(_bundle_rows(postmortem))
+    return "".join(out)
+
+
+def render_report(rundir: Path, manifest: dict) -> str:
+    metrics = load_metrics(rundir)
+    title = f"run report — {rundir.name}"
+    sections = [
+        section_summary(manifest),
+        section_steps(load_step_seconds(rundir, manifest)),
+        section_overhead(metrics),
+        section_diagnostics(load_diagnostics(rundir)),
+        section_accuracy(metrics),
+        section_comm(load_json(rundir / "comm_matrix.json")),
+        section_health(load_health(rundir)),
+        section_postmortem(load_json(rundir / "postmortem.json")),
+    ]
+    artifacts = manifest.get("artifacts") or {}
+    inventory = table(
+        ["artifact", "file"],
+        [(k, v if isinstance(v, str) else f"{len(v)} files")
+         for k, v in sorted(artifacts.items())],
+        left={0, 1},
+    )
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{esc(title)}</title><style>{_CSS}</style></head><body>"
+        f"<h1>{esc(title)}</h1>"
+        + "".join(sections)
+        + f"<h2>Artifact inventory</h2>{inventory}"
+        + f'<p class="muted">generated by tools/run_report.py — '
+        f"manifest schema {esc(manifest.get('schema', '?'))}</p>"
+        "</body></html>"
+    )
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    ap.add_argument("rundir", help="run directory (or its manifest.json)")
+    ap.add_argument("--out", metavar="PATH",
+                    help="output HTML path (default <rundir>/report.html)")
+    args = ap.parse_args(argv)
+
+    path = Path(args.rundir)
+    if path.is_file():
+        path = path.parent
+    try:
+        manifest = load_manifest(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out = Path(args.out) if args.out else path / "report.html"
+    out.write_text(render_report(path, manifest))
+    print(f"report written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
