@@ -10,7 +10,10 @@ paper-comparison tables on disk.
 Benches additionally record their headline numbers through the
 ``bench_json`` fixture; at session end the collected records are written
 as machine-readable ``BENCH_<suite>.json`` documents at the repo root
-(schema ``repro-bench/1``), the input of ``tools/bench_regress.py``.
+(schema ``repro-bench/1``), the input of ``tools/bench_regress.py`` — and
+every record is *appended* to the ``repro-perf/1`` history ledger under
+``benchmarks/history/``, the input of ``tools/perf_trend.py`` (the BENCH
+files are snapshots; the ledger is the trajectory).
 """
 
 from __future__ import annotations
@@ -53,10 +56,20 @@ def bench_json():
         writer.add(name, params=params, **metrics)
 
     yield record
+    from repro.perfmodel.ledger import PerfLedger, perf_record
+
+    ledger = PerfLedger(REPO_ROOT / "benchmarks" / "history" / "perf_history.jsonl")
     for suite, writer in sorted(writers.items()):
         if writer.records:
             path = writer.write(REPO_ROOT / f"BENCH_{suite}.json")
             sys.stdout.write(f"\nbench records written to {path}\n")
+            appended = ledger.extend(
+                perf_record(suite, r["name"], r["metrics"], options=r["params"])
+                for r in writer.records
+            )
+            sys.stdout.write(
+                f"appended {appended} record(s) to {ledger.path}\n"
+            )
 
 
 @pytest.fixture(scope="session")

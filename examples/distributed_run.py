@@ -9,16 +9,17 @@ invisible to the physics.
 
 Also demonstrates the scaling-observability layer: every rank runs under a
 rank-tagged tracer, the per-rank timelines merge into ONE Chrome/Perfetto
-trace (``distributed_trace.json`` — one named track per rank), and rank 0
-prints the communication matrix, the λ load-imbalance factor and the
-predicted-vs-measured comm-time closure.
+trace (``runs/distributed_demo/trace.json`` — one named track per rank,
+written into a :class:`RunDir` so no artifact lands at the repo root), and
+rank 0 prints the communication matrix, the λ load-imbalance factor and
+the predicted-vs-measured comm-time closure.
 
 Run:  python examples/distributed_run.py
 """
 
 import numpy as np
 
-from repro.observability import export_merged_trace, rank_tracer
+from repro.observability import RunDir, export_merged_trace, rank_tracer
 from repro.parallel import BlockForest, DistributedSolver, run_ranks
 from repro.pfm import GrandPotentialModel, make_two_phase_binary, planar_front
 
@@ -88,9 +89,11 @@ def main():
           "(every rank reused the same three compiled kernels)")
 
     # --- scaling observability: merged trace + comm matrix + λ + closure -----
-    trace_path = export_merged_trace(
-        [r[3] for r in results], "distributed_trace.json"
-    )
+    rundir = RunDir("runs/distributed_demo",
+                    config={"steps": steps, "ranks": 4})
+    rundir.note(example="distributed_run", ranks=4)
+    trace_path = export_merged_trace([r[3] for r in results], rundir.trace_path)
+    rundir.write_manifest(status="ok")
     print(f"\nmerged 4-rank timeline written to {trace_path} "
           "(open in Perfetto / chrome://tracing)")
     print()

@@ -245,6 +245,16 @@ def _run(args, health, rundir):
     if rundir is not None:
         with open(rundir.metrics_json_path, "w") as fh:
             json.dump(get_registry().to_json(), fh, indent=1)
+        # append the measured-vs-predicted kernel record to the run's perf
+        # ledger so check_observability.py --require-perf can validate it
+        from repro.perfmodel.ledger import PerfLedger, records_from_profiler
+
+        perf_records = records_from_profiler(
+            "quickstart", [kernel], profiler,
+            block_shape=(n, n), options={"backend": "numpy"},
+        )
+        if perf_records:
+            PerfLedger(rundir.perf_path).extend(perf_records)
         recorder.close_journal()
         print(f"run directory: {rundir.path} (render with tools/run_report.py)")
 

@@ -48,6 +48,18 @@ from .distributed import (
     rank_tracer,
 )
 from .health import HealthError, HealthEvent, HealthMonitor
+from .hwcounters import (
+    CounterHarness,
+    CounterSample,
+    attribute_dispatch,
+    attribution_scope,
+    counter_provenance_line,
+    get_counter_harness,
+    make_harness,
+    perf_events_available,
+    probe_capabilities,
+    set_counter_harness,
+)
 from .log import configure_logging, get_logger, kv
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -95,6 +107,8 @@ __all__ = [
     "BenchWriter",
     "CommMatrix",
     "Counter",
+    "CounterHarness",
+    "CounterSample",
     "DEFAULT_BUCKETS",
     "FlightRecorder",
     "Gauge",
@@ -110,8 +124,11 @@ __all__ = [
     "RunDir",
     "Span",
     "Tracer",
+    "attribute_dispatch",
+    "attribution_scope",
     "capture_postmortem",
     "comm_closure_report",
+    "counter_provenance_line",
     "comm_closure_rows",
     "configure_logging",
     "disable_tracing",
@@ -120,6 +137,7 @@ __all__ = [
     "export_merged_trace",
     "field_stats",
     "find_sample",
+    "get_counter_harness",
     "get_logger",
     "get_recorder",
     "get_registry",
@@ -130,13 +148,17 @@ __all__ = [
     "kv",
     "load_bench_document",
     "load_manifest",
+    "make_harness",
     "merge_rank_traces",
     "model_accuracy_report",
     "model_accuracy_rows",
     "parse_prometheus",
+    "perf_events_available",
+    "probe_capabilities",
     "rank_recorder",
     "rank_tracer",
     "reset_metrics",
+    "set_counter_harness",
     "set_recorder",
     "set_registry",
     "set_rundir",

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import math
 
+from .hwcounters import counter_provenance_line
 from .metrics import get_registry
 
 __all__ = ["model_accuracy_rows", "model_accuracy_report", "export_accuracy_metrics"]
@@ -36,23 +37,31 @@ def model_accuracy_rows(
     """Join ECM predictions with measured rates, one dict per timed kernel.
 
     Keys: ``kernel``, ``predicted_mlups``, ``measured_mlups``, ``ratio``
-    (measured/predicted), ``bound`` (compute|memory), ``calls``.
-    Kernels without a cell-counted timing record are skipped (fills and
-    exchanges have no LUP rate).
+    (measured/predicted), ``bound`` (compute|memory), ``calls``, plus the
+    counter closure columns: ``predicted_cycles_per_lup`` /
+    ``measured_cycles_per_lup`` and ``predicted_bytes_per_lup`` /
+    ``measured_bytes_per_lup`` (measured sides ``None`` on hosts without
+    perf_event access) and ``ipc``.  Kernels without a cell-counted timing
+    record are skipped (fills and exchanges have no LUP rate).
     """
-    from ..perfmodel.ecm import ECMModel
+    from ..perfmodel.ecm import _LUPS_PER_UNIT, ECMModel
+    from ..perfmodel.layer_condition import analyze_traffic
     from ..perfmodel.machine import SKYLAKE_8174
 
     machine = machine or SKYLAKE_8174
     model = ECMModel(machine)
+    line_bytes = getattr(machine, "cache_line_bytes", 64)
     rows: list[dict] = []
     for kernel in kernels:
         rec = profiler.records.get(kernel.name)
         if rec is None or rec.cells == 0 or rec.seconds == 0.0:
             continue
-        prediction = model.predict(kernel, block_shape or (60,) * kernel.dim)
+        shape = block_shape or (60,) * kernel.dim
+        traffic = analyze_traffic(kernel, shape)
+        prediction = model.predict(kernel, shape, traffic=traffic)
         predicted = prediction.mlups(cores)
         measured = rec.mlups
+        llc = machine.cache_levels[-1]
         rows.append(
             {
                 "kernel": kernel.name,
@@ -61,6 +70,11 @@ def model_accuracy_rows(
                 "ratio": measured / predicted if predicted else float("nan"),
                 "bound": "compute" if prediction.is_compute_bound else "memory",
                 "calls": rec.calls,
+                "predicted_cycles_per_lup": prediction.t_single / _LUPS_PER_UNIT,
+                "measured_cycles_per_lup": rec.cycles_per_lup,
+                "predicted_bytes_per_lup": traffic.total_bytes(llc.size_bytes),
+                "measured_bytes_per_lup": rec.measured_bytes_per_lup(line_bytes),
+                "ipc": rec.ipc,
             }
         )
     return rows
@@ -86,10 +100,15 @@ def model_accuracy_report(
     if not rows:
         lines.append("(no cell-counted kernel timings yet)")
         return "\n".join(lines)
+
+    def opt(value, spec: str) -> str:
+        return format(value, spec) if value is not None else "-"
+
     lines.extend(
         format_table(
             ["kernel", "calls", "predicted MLUP/s", "measured MLUP/s",
-             "measured/predicted", "bound"],
+             "measured/predicted", "bound", "pred cy/LUP", "meas cy/LUP",
+             "pred B/LUP", "meas B/LUP", "IPC"],
             [
                 (
                     r["kernel"],
@@ -98,11 +117,17 @@ def model_accuracy_report(
                     f"{r['measured_mlups']:.2f}",
                     f"{r['ratio']:.3f}",
                     r["bound"],
+                    f"{r['predicted_cycles_per_lup']:.1f}",
+                    opt(r["measured_cycles_per_lup"], ".1f"),
+                    f"{r['predicted_bytes_per_lup']:.1f}",
+                    opt(r["measured_bytes_per_lup"], ".1f"),
+                    opt(r["ipc"], ".2f"),
                 )
                 for r in rows
             ],
         )
     )
+    lines.append(counter_provenance_line())
     return "\n".join(lines)
 
 
@@ -118,10 +143,14 @@ def export_accuracy_metrics(rows: list[dict], registry=None) -> None:
         ("repro_kernel_predicted_mlups", "ECM-predicted kernel rate", "predicted_mlups"),
         ("repro_kernel_measured_mlups", "measured kernel rate", "measured_mlups"),
         ("repro_model_accuracy_ratio", "measured/predicted MLUP/s", "ratio"),
+        ("repro_kernel_predicted_cycles_per_lup",
+         "ECM-predicted cycles per LUP", "predicted_cycles_per_lup"),
+        ("repro_kernel_predicted_bytes_per_lup",
+         "layer-condition memory traffic per LUP", "predicted_bytes_per_lup"),
     )
     for r in rows:
         for name, help_, key in gauges:
-            value = r[key]
-            if not math.isfinite(value):
+            value = r.get(key)
+            if value is None or not math.isfinite(value):
                 continue
             registry.gauge(name, help_, kernel=r["kernel"]).set(value)

@@ -16,6 +16,7 @@ a metrics dump there, checkpoints wherever the caller pointed them.
       comm_matrix.json     # per-(src,dst) bytes/message matrix
       postmortem.json      # crash bundles, when a run dies
       checkpoints/         # solver checkpoints
+      perf/                # repro-perf/1 kernel counter/closure records
       report.html          # tools/run_report.py output
 
 ``manifest.json`` (schema ``repro-run/1``) is the index: what the run
@@ -125,6 +126,15 @@ class RunDir:
     def checkpoint_dir(self) -> Path:
         return self.path / "checkpoints"
 
+    @property
+    def perf_dir(self) -> Path:
+        return self.path / "perf"
+
+    @property
+    def perf_path(self) -> Path:
+        """The run's ``repro-perf/1`` ledger (kernel counters + closure)."""
+        return self.perf_dir / "perf.jsonl"
+
     def journal_path(self, rank: int | None = None) -> Path:
         """The JSONL journal path; rank-suffixed under multi-rank launches."""
         if rank is None:
@@ -152,6 +162,10 @@ class RunDir:
         checkpoints = sorted(p.name for p in self.checkpoint_dir.glob("*"))
         if checkpoints:
             found["checkpoints"] = checkpoints
+        perf = sorted(p.name for p in self.perf_dir.glob("*")) \
+            if self.perf_dir.is_dir() else []
+        if perf:
+            found["perf"] = perf
         return found
 
     def write_manifest(self, status: str = "running", **extra) -> dict:

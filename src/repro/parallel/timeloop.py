@@ -721,6 +721,39 @@ class DistributedSolver:
             registry, solver="distributed", rank=self.rank
         )
 
+    def export_perf(self, path=None, machine=None, bench: str = "distributed") -> str | None:
+        """Append rank 0's ``repro-perf/1`` records to the run's perf ledger.
+
+        Mirrors :meth:`export_comm_matrix`: rank 0 writes — to *path*, or
+        the attached RunDir's canonical ``perf/perf.jsonl`` — and returns
+        the path; other ranks return ``None``.
+        """
+        from ..perfmodel.ledger import PerfLedger, records_from_profiler
+
+        self._finish_pending()
+        if self.rank != 0:
+            return None
+        if path is None:
+            if self.rundir is None:
+                raise ValueError("export_perf needs a path (no RunDir attached)")
+            path = self.rundir.perf_path
+        records = records_from_profiler(
+            bench,
+            self.kernel_set.all_kernels,
+            self.profiler,
+            machine=machine,
+            block_shape=self.forest.block_shape,
+            options={
+                "backend": self.backend,
+                "ranks": self.n_ranks,
+                "overlap": bool(self.overlap),
+            },
+        )
+        if not records:
+            return None
+        PerfLedger(path).extend(records)
+        return str(path)
+
     def export_comm_matrix(self, path=None) -> str | None:
         """Write the merged comm matrix as JSON (``comm_matrix.json``).
 

@@ -4,7 +4,25 @@ from .ecm import ECMModel, ECMPrediction, combine_kernels_mlups
 from .flops import SKYLAKE_WEIGHTS, OperationCount, count_operations
 from .instruction_tables import HASWELL_TABLE, SKYLAKE_TABLE, InstructionTable, weights_for
 from .layer_condition import TrafficAnalysis, analyze_traffic, blocking_factor
-from .machine import HASWELL_2690V3, MACHINES, SKYLAKE_8174, CacheLevel, MachineModel
+from .ledger import (
+    PERF_SCHEMA,
+    PerfLedger,
+    PerfSchemaError,
+    host_stanza,
+    perf_record,
+    records_from_profiler,
+    series_key,
+    validate_perf_record,
+)
+from .machine import (
+    HASWELL_2690V3,
+    MACHINES,
+    SKYLAKE_8174,
+    CacheLevel,
+    MachineModel,
+    detect_host,
+    detect_machine,
+)
 from .benchmark_mode import MeasuredPerformance, generate_benchmark_source, measure_kernel
 from .report import performance_report
 from .roofline import RooflinePoint, roofline
@@ -29,6 +47,16 @@ __all__ = [
     "SKYLAKE_8174",
     "CacheLevel",
     "MachineModel",
+    "detect_host",
+    "detect_machine",
+    "PERF_SCHEMA",
+    "PerfLedger",
+    "PerfSchemaError",
+    "host_stanza",
+    "perf_record",
+    "records_from_profiler",
+    "series_key",
+    "validate_perf_record",
     "performance_report",
     "RooflinePoint",
     "roofline",

@@ -1,0 +1,286 @@
+"""Append-only perf history: the ``repro-perf/1`` variant ledger.
+
+``BENCH_*.json`` documents are overwritten in place — a snapshot, not a
+trajectory.  The ledger is the memory: every bench run *appends* one JSONL
+record per measured kernel (or bench-level series) under
+``benchmarks/history/``, keyed by
+
+    kernel fingerprint x codegen options x host
+
+so ``tools/perf_trend.py`` can plot per-variant trends and closure drift
+over time, and refuse to compare records from different machines (the host
+``key`` hashes hardware identity only — never the hostname, which CI
+containers refresh every run; see :func:`repro.perfmodel.machine.detect_host`).
+
+Record shape (one JSON object per line)::
+
+    {
+      "schema": "repro-perf/1",
+      "timestamp": "2026-08-08T12:00:00+00:00",
+      "git_sha": "abc123..." | null,
+      "bench": "scaling_smoke",            # producing bench/suite
+      "name": "kernels/phi_update",        # series name within the bench
+      "kernel": {"name": ..., "fingerprint": ...} | null,
+      "options": {...},                    # codegen options of the variant
+      "host": {... detect_host() stanza ..., "key": "hex16"},
+      "measured": {
+        "mlups": ..., "mean_seconds": ..., "cpu_seconds": ...,
+        "cycles_per_lup": null, "ipc": null, "bytes_per_lup": null,
+        "counter_source": "rusage"
+      },
+      "predicted": {
+        "mlups": ..., "cycles_per_lup": ..., "bytes_per_lup": ...,
+        "t_comp": ..., "t_cache": ..., "t_mem": ...
+      } | null
+    }
+
+Counter-derived fields are ``null`` (not 0) on hosts without perf_event
+access — the degradation chain keeps the *time-derived* fields populated,
+so the history stays useful on the 1-core CI container.  ``measured`` is a
+flexible metrics dict: bench-level records (scaling efficiency, step wall)
+carry their own keys; direction per metric follows
+:func:`repro.observability.bench.lower_is_better`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from datetime import datetime, timezone
+from pathlib import Path
+
+from ..observability.bench import git_sha
+from .machine import detect_host
+
+__all__ = [
+    "PERF_SCHEMA",
+    "PerfSchemaError",
+    "PerfLedger",
+    "host_stanza",
+    "perf_record",
+    "records_from_profiler",
+    "series_key",
+    "validate_perf_record",
+]
+
+PERF_SCHEMA = "repro-perf/1"
+
+#: default history location, relative to the repo root
+DEFAULT_HISTORY = Path("benchmarks") / "history" / "perf_history.jsonl"
+
+
+class PerfSchemaError(ValueError):
+    """A ledger record does not conform to the ``repro-perf/1`` schema."""
+
+
+def host_stanza() -> dict:
+    """The host identity stanza (cached: hardware does not change mid-run)."""
+    global _HOST_STANZA
+    if _HOST_STANZA is None:
+        _HOST_STANZA = detect_host()
+    return dict(_HOST_STANZA)
+
+
+_HOST_STANZA: dict | None = None
+
+
+def _clean_metrics(metrics: dict, context: str) -> dict:
+    """Validate a measured/predicted stanza: numbers or None, finite."""
+    clean = {}
+    for key, value in metrics.items():
+        if value is None or isinstance(value, str):
+            clean[key] = value
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise PerfSchemaError(f"{context}.{key}={value!r} is not a number")
+        if not math.isfinite(value):
+            raise PerfSchemaError(f"{context}.{key}={value!r} is not finite")
+        clean[key] = float(value)
+    return clean
+
+
+def perf_record(
+    bench: str,
+    name: str,
+    measured: dict,
+    predicted: dict | None = None,
+    kernel: dict | None = None,
+    options: dict | None = None,
+    timestamp: str | None = None,
+) -> dict:
+    """Build one validated ``repro-perf/1`` record."""
+    record = {
+        "schema": PERF_SCHEMA,
+        "timestamp": timestamp
+        or datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_sha": git_sha(),
+        "bench": bench,
+        "name": name,
+        "kernel": dict(kernel) if kernel else None,
+        "options": dict(options or {}),
+        "host": host_stanza(),
+        "measured": _clean_metrics(measured, "measured"),
+        "predicted": _clean_metrics(predicted, "predicted") if predicted else None,
+    }
+    return validate_perf_record(record)
+
+
+def validate_perf_record(record) -> dict:
+    """Raise :class:`PerfSchemaError` unless *record* is valid."""
+    if not isinstance(record, dict):
+        raise PerfSchemaError(f"record is {type(record).__name__}, expected object")
+    if record.get("schema") != PERF_SCHEMA:
+        raise PerfSchemaError(
+            f"schema is {record.get('schema')!r}, expected {PERF_SCHEMA!r}"
+        )
+    for field in ("bench", "name", "timestamp"):
+        if not isinstance(record.get(field), str) or not record[field]:
+            raise PerfSchemaError(f"{field} missing or not a string")
+    host = record.get("host")
+    if not isinstance(host, dict) or not host.get("key"):
+        raise PerfSchemaError("host stanza missing or without a key")
+    measured = record.get("measured")
+    if not isinstance(measured, dict) or not measured:
+        raise PerfSchemaError("measured stanza missing or empty")
+    kernel = record.get("kernel")
+    if kernel is not None:
+        if not isinstance(kernel, dict) or not kernel.get("fingerprint"):
+            raise PerfSchemaError("kernel stanza must carry a fingerprint")
+    _clean_metrics(measured, "measured")
+    if record.get("predicted"):
+        _clean_metrics(record["predicted"], "predicted")
+    return record
+
+
+def series_key(record: dict) -> tuple:
+    """The trend-series identity of a record.
+
+    Records compare only within the same (bench, name, kernel fingerprint,
+    codegen options, host key) tuple — a new variant, a different option
+    set or another machine starts a fresh series rather than polluting an
+    existing one.
+    """
+    kernel = record.get("kernel") or {}
+    options = record.get("options") or {}
+    return (
+        record["bench"],
+        record["name"],
+        kernel.get("fingerprint"),
+        json.dumps(options, sort_keys=True),
+        record["host"]["key"],
+    )
+
+
+class PerfLedger:
+    """Append-only JSONL history of ``repro-perf/1`` records."""
+
+    def __init__(self, path=None):
+        self.path = Path(path) if path is not None else DEFAULT_HISTORY
+
+    def append(self, record: dict) -> None:
+        self.extend([record])
+
+    def extend(self, records) -> int:
+        """Validate and append *records*; returns how many were written."""
+        validated = [validate_perf_record(r) for r in records]
+        if not validated:
+            return 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as fh:
+            for record in validated:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        return len(validated)
+
+    def load(self, strict: bool = False) -> list[dict]:
+        """All valid records, oldest first.
+
+        A truncated final line (a run killed mid-append) is skipped
+        silently; any other malformed line is skipped unless *strict*.
+        """
+        if not self.path.exists():
+            return []
+        records: list[dict] = []
+        lines = self.path.read_text().splitlines()
+        for i, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(validate_perf_record(json.loads(line)))
+            except (json.JSONDecodeError, PerfSchemaError) as exc:
+                if i == len(lines) - 1 and isinstance(exc, json.JSONDecodeError):
+                    continue    # torn tail write
+                if strict:
+                    raise PerfSchemaError(f"{self.path}:{i + 1}: {exc}") from exc
+        return records
+
+    def series(self) -> dict[tuple, list[dict]]:
+        """Records grouped by :func:`series_key`, each oldest first."""
+        grouped: dict[tuple, list[dict]] = {}
+        for record in self.load():
+            grouped.setdefault(series_key(record), []).append(record)
+        return grouped
+
+    def __repr__(self):
+        return f"PerfLedger({str(self.path)!r})"
+
+
+def records_from_profiler(
+    bench: str,
+    kernels,
+    profiler,
+    machine=None,
+    block_shape: tuple[int, ...] | None = None,
+    cores: int = 1,
+    options: dict | None = None,
+) -> list[dict]:
+    """One ledger record per cell-counted kernel the profiler timed.
+
+    Joins the measured side (MLUP/s, mean seconds, CPU seconds, and — when
+    hardware counters ran — cycles/LUP, IPC, bytes/LUP) with the ECM
+    prediction; counter-less hosts get ``null`` counter fields, never 0.
+    """
+    from ..observability.hwcounters import get_counter_harness
+    from ..observability.report import model_accuracy_rows
+    from ..profiling.cache import kernel_fingerprint
+
+    source = get_counter_harness().source
+    rows = model_accuracy_rows(
+        kernels, profiler, machine=machine, block_shape=block_shape, cores=cores
+    )
+    by_name = {k.name: k for k in kernels}
+    records = []
+    for row in rows:
+        kernel = by_name[row["kernel"]]
+        rec = profiler.records[kernel.name]
+        measured = {
+            "mlups": row["measured_mlups"],
+            "mean_seconds": rec.mean_seconds,
+            "cpu_seconds": rec.cpu_seconds if rec.cpu_seconds > 0.0 else None,
+            "cycles_per_lup": row["measured_cycles_per_lup"],
+            "ipc": row["ipc"],
+            "bytes_per_lup": row["measured_bytes_per_lup"],
+            "counter_source": source,
+        }
+        predicted = {
+            "mlups": row["predicted_mlups"],
+            "cycles_per_lup": row["predicted_cycles_per_lup"],
+            "bytes_per_lup": row["predicted_bytes_per_lup"],
+        }
+        records.append(
+            perf_record(
+                bench,
+                f"kernels/{kernel.name}",
+                measured,
+                predicted=predicted,
+                kernel={
+                    "name": kernel.name,
+                    "fingerprint": kernel_fingerprint(kernel),
+                },
+                options=options,
+            )
+        )
+    return records

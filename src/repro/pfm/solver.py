@@ -367,6 +367,33 @@ class SingleBlockSolver:
         """Publish this solver's profile into the metrics registry."""
         self.profiler.export_metrics(registry, solver="single")
 
+    def export_perf(self, path=None, machine=None, bench: str = "solver") -> str | None:
+        """Append this run's ``repro-perf/1`` records (``perf/perf.jsonl``).
+
+        One record per cell-counted kernel, joining measured rates (and
+        hardware counters where the host provides them) with the ECM
+        prediction; appends to *path*, or the attached RunDir's canonical
+        perf ledger.  Returns the path, or ``None`` with nothing to write.
+        """
+        from ..perfmodel.ledger import PerfLedger, records_from_profiler
+
+        if path is None:
+            if self.rundir is None:
+                raise ValueError("export_perf needs a path (no RunDir attached)")
+            path = self.rundir.perf_path
+        records = records_from_profiler(
+            bench,
+            self.kernel_set.all_kernels,
+            self.profiler,
+            machine=machine,
+            block_shape=self.shape,
+            options={"backend": self.backend, "shape": list(self.shape)},
+        )
+        if not records:
+            return None
+        PerfLedger(path).extend(records)
+        return str(path)
+
     def phase_fractions(self) -> np.ndarray:
         """Volume fraction of every phase."""
         return self.phi.reshape(-1, self.params.n_phases).mean(axis=0)

@@ -17,6 +17,14 @@ Every accepted timing is also forwarded to the global
 span — the profiler is the single span source for the runtime loop, so a
 kernel sweep is measured exactly once and appears in both the profile table
 and the Chrome trace.
+
+Hardware counters: :meth:`SolverProfiler.measure` samples the process-wide
+:class:`repro.observability.hwcounters.CounterHarness` around every block,
+so each :class:`TimingRecord` accumulates CPU seconds and — on hosts with
+``perf_event`` access — cycles, instructions and cache references/misses.
+The derived rates (cycles/LUP, IPC, measured bytes/LUP from cache-miss
+counts × line size) feed the measured-vs-ECM closure table; on hosts
+without counters the fields stay zero and the report says so explicitly.
 """
 
 from __future__ import annotations
@@ -25,11 +33,20 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from time import perf_counter
 
+from ..observability.hwcounters import (
+    attribution_scope,
+    counter_provenance_line,
+    get_counter_harness,
+)
 from ..observability.recorder import get_recorder
 from ..observability.tracing import get_tracer
 from ..perfmodel.report import format_table, report_header
 
 __all__ = ["SolverProfiler", "TimingRecord"]
+
+#: bytes per cache line assumed when deriving traffic from miss counts
+#: (overridden by the detected machine's line size where one is known)
+DEFAULT_LINE_BYTES = 64
 
 
 @dataclass
@@ -42,6 +59,19 @@ class TimingRecord:
     cells: int = 0
     bytes: int = 0
     messages: int = 0     # MPI messages behind this operation (exchanges)
+    # -- hardware-counter aggregates (0.0 when the rung provides none) --------
+    cpu_seconds: float = 0.0
+    cycles: float = 0.0
+    instructions: float = 0.0
+    cache_references: float = 0.0
+    cache_misses: float = 0.0
+    stalled_cycles: float = 0.0
+    counted_calls: int = 0    # calls that carried hardware counter values
+
+    _COUNTER_FIELDS = (
+        "cpu_seconds", "cycles", "instructions",
+        "cache_references", "cache_misses", "stalled_cycles",
+    )
 
     @property
     def mean_seconds(self) -> float:
@@ -53,6 +83,41 @@ class TimingRecord:
         if self.cells == 0 or self.seconds == 0.0:
             return 0.0
         return self.cells / self.seconds / 1e6
+
+    @property
+    def cycles_per_lup(self) -> float | None:
+        """Measured cycles per lattice-site update (``None`` sans counters)."""
+        if self.cycles <= 0.0 or self.cells == 0:
+            return None
+        return self.cycles / self.cells
+
+    @property
+    def ipc(self) -> float | None:
+        """Instructions retired per cycle (``None`` without counters)."""
+        if self.cycles <= 0.0 or self.instructions <= 0.0:
+            return None
+        return self.instructions / self.cycles
+
+    def measured_bytes_per_lup(
+        self, line_bytes: int = DEFAULT_LINE_BYTES
+    ) -> float | None:
+        """Memory traffic per LUP derived from cache-miss counts × line size."""
+        if self.cache_misses <= 0.0 or self.cells == 0:
+            return None
+        return self.cache_misses * line_bytes / self.cells
+
+    def absorb_counters(self, counters) -> None:
+        """Accumulate one :class:`CounterSample` delta into the aggregates."""
+        if counters is None:
+            return
+        if counters.cpu_seconds is not None:
+            self.cpu_seconds += counters.cpu_seconds
+        if counters.cycles is not None:
+            self.counted_calls += 1
+        for field in self._COUNTER_FIELDS[1:]:
+            value = getattr(counters, field)
+            if value is not None:
+                setattr(self, field, getattr(self, field) + value)
 
 
 class SolverProfiler:
@@ -70,6 +135,7 @@ class SolverProfiler:
         nbytes: int = 0,
         end: float | None = None,
         messages: int = 0,
+        counters=None,
     ) -> None:
         """Accumulate one timed interval under *name*.
 
@@ -78,6 +144,8 @@ class SolverProfiler:
         emitted as a ``runtime`` trace span (one measurement, two sinks).
         *messages* counts the MPI messages behind the interval, so exchange
         wait time is attributable to message count as well as volume.
+        *counters* is a :class:`~repro.observability.hwcounters.CounterSample`
+        delta covering the interval (``None`` when sampling is off).
         """
         rec = self.records.get(name)
         if rec is None:
@@ -87,6 +155,7 @@ class SolverProfiler:
         rec.cells += cells
         rec.bytes += nbytes
         rec.messages += messages
+        rec.absorb_counters(counters)
         tracer = get_tracer()
         if tracer.enabled and end is not None:
             args = {}
@@ -119,12 +188,22 @@ class SolverProfiler:
         if not self.enabled:
             yield
             return
+        harness = get_counter_harness()
         t0 = perf_counter()
+        s0 = harness.sample()
         try:
-            yield
+            with attribution_scope() as slot:
+                yield
         finally:
             t1 = perf_counter()
-            self.record(name, t1 - t0, cells, nbytes, end=t1)
+            # prefer the tight dispatch delta (sampled around the native
+            # call by the backend, excluding Python marshaling); fall back
+            # to the whole-block delta when no dispatch reported in
+            if slot.sample is not None:
+                delta = slot.sample
+            else:
+                delta = harness.delta(s0, harness.sample())
+            self.record(name, t1 - t0, cells, nbytes, end=t1, counters=delta)
 
     # -- aggregation -----------------------------------------------------------
 
@@ -146,6 +225,9 @@ class SolverProfiler:
             mine.cells += rec.cells
             mine.bytes += rec.bytes
             mine.messages += rec.messages
+            mine.counted_calls += rec.counted_calls
+            for field in TimingRecord._COUNTER_FIELDS:
+                setattr(mine, field, getattr(mine, field) + getattr(rec, field))
 
     def reset(self) -> None:
         self.records.clear()
@@ -187,11 +269,34 @@ class SolverProfiler:
                     "repro_op_messages_total", "MPI messages behind operation",
                     op=rec.name, **labels,
                 ).set(rec.messages)
+            if rec.cpu_seconds:
+                registry.gauge(
+                    "repro_op_cpu_seconds_total", "profiled operation CPU time",
+                    op=rec.name, **labels,
+                ).set(rec.cpu_seconds)
             if rec.cells:
                 registry.gauge(
                     "repro_kernel_mlups", "measured kernel rate",
                     kernel=rec.name, **labels,
                 ).set(rec.mlups)
+                if rec.cycles_per_lup is not None:
+                    registry.gauge(
+                        "repro_kernel_cycles_per_lup",
+                        "measured cycles per lattice-site update",
+                        kernel=rec.name, **labels,
+                    ).set(rec.cycles_per_lup)
+                if rec.ipc is not None:
+                    registry.gauge(
+                        "repro_kernel_ipc", "instructions retired per cycle",
+                        kernel=rec.name, **labels,
+                    ).set(rec.ipc)
+                measured_bpl = rec.measured_bytes_per_lup()
+                if measured_bpl is not None:
+                    registry.gauge(
+                        "repro_kernel_measured_bytes_per_lup",
+                        "memory traffic per LUP from cache-miss counts",
+                        kernel=rec.name, **labels,
+                    ).set(measured_bpl)
 
     # -- reporting -------------------------------------------------------------
 
@@ -201,25 +306,29 @@ class SolverProfiler:
         if not self.records:
             lines.append("(no timed operations yet)")
             return "\n".join(lines)
+        have_counters = any(r.counted_calls for r in self.records.values())
         rows = []
         for rec in sorted(self.records.values(), key=lambda r: -r.seconds):
-            rows.append(
-                (
-                    rec.name,
-                    rec.calls,
-                    f"{rec.seconds:.4f}",
-                    f"{rec.mean_seconds * 1e3:.3f}",
-                    f"{rec.mlups:.2f}" if rec.cells else "-",
-                    f"{rec.bytes / 2**20:.2f}" if rec.bytes else "-",
-                    f"{rec.messages}" if rec.messages else "-",
-                )
-            )
-        lines.extend(
-            format_table(
-                ["operation", "calls", "total s", "mean ms", "MLUP/s",
-                 "MiB moved", "msgs"],
-                rows,
-            )
-        )
+            row = [
+                rec.name,
+                rec.calls,
+                f"{rec.seconds:.4f}",
+                f"{rec.mean_seconds * 1e3:.3f}",
+                f"{rec.mlups:.2f}" if rec.cells else "-",
+                f"{rec.bytes / 2**20:.2f}" if rec.bytes else "-",
+                f"{rec.messages}" if rec.messages else "-",
+            ]
+            if have_counters:
+                cyl = rec.cycles_per_lup
+                ipc = rec.ipc
+                row.append(f"{cyl:.1f}" if cyl is not None else "-")
+                row.append(f"{ipc:.2f}" if ipc is not None else "-")
+            rows.append(tuple(row))
+        headers = ["operation", "calls", "total s", "mean ms", "MLUP/s",
+                   "MiB moved", "msgs"]
+        if have_counters:
+            headers += ["cy/LUP", "IPC"]
+        lines.extend(format_table(headers, rows))
         lines.append(f"total timed: {self.total_seconds:.4f} s")
+        lines.append(counter_provenance_line())
         return "\n".join(lines)

@@ -1,0 +1,486 @@
+"""Kernel performance observatory: counters, ledger, trends, detection.
+
+The contract under test: a perf_event_open(2) harness that degrades
+perf -> rusage -> time (each rung forcible, a forced rung never silently
+degrades), per-kernel counter attribution through the profiler with an
+explicit provenance line on every counter-bearing report, an append-only
+``repro-perf/1`` JSONL history keyed by (bench, name, kernel fingerprint,
+codegen options, host key), a trend tool that flags latest-vs-rolling-
+baseline regressions in the right direction per metric, and /sys host
+auto-detection whose key never includes the hostname.
+"""
+
+import importlib.util
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.observability.hwcounters import (
+    CHAIN,
+    CounterHarness,
+    CounterSample,
+    attribute_dispatch,
+    attribution_scope,
+    counter_provenance_line,
+    make_harness,
+    perf_events_available,
+    probe_capabilities,
+    set_counter_harness,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.rundir import RunDir
+from repro.perfmodel.ledger import (
+    PerfLedger,
+    PerfSchemaError,
+    host_stanza,
+    perf_record,
+    series_key,
+    validate_perf_record,
+)
+from repro.perfmodel.machine import (
+    HASWELL_2690V3,
+    detect_cache_hierarchy,
+    detect_host,
+    detect_machine,
+    detect_physical_cores,
+)
+from repro.profiling import SolverProfiler
+
+
+def _load_tool(name):
+    path = Path(__file__).resolve().parents[1] / "tools" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture
+def forced_harness():
+    """Install a forced-rung harness process-wide; restore afterwards."""
+    installed = []
+
+    def install(rung):
+        harness = make_harness(force=rung)
+        installed.append(set_counter_harness(harness))
+        return harness
+
+    yield install
+    while installed:
+        set_counter_harness(installed.pop())
+
+
+# -- the degradation chain ----------------------------------------------------
+
+
+class TestDegradationChain:
+    def test_chain_order(self):
+        assert CHAIN == ("perf", "rusage", "time")
+
+    def test_force_rusage(self):
+        harness = make_harness(force="rusage")
+        a = harness.sample()
+        sum(range(20000))
+        b = harness.sample()
+        delta = harness.delta(a, b)
+        assert harness.source == "rusage"
+        assert delta.wall_seconds > 0
+        assert delta.cpu_seconds is not None and delta.cpu_seconds >= 0
+        assert delta.cycles is None and delta.instructions is None
+
+    def test_force_time_populates_wall_only(self):
+        harness = make_harness(force="time")
+        delta = harness.delta(harness.sample(), harness.sample())
+        assert delta.wall_seconds >= 0
+        assert delta.cpu_seconds is None and delta.cache_misses is None
+        assert harness.counter_names == ()
+
+    def test_force_off_disables_sampling(self):
+        harness = make_harness(force="off")
+        assert not harness.active
+        assert harness.sample() is None
+        assert harness.delta(None, None) is None
+
+    def test_forced_perf_never_silently_degrades(self):
+        ok, _reason = perf_events_available()
+        if ok:
+            assert make_harness(force="perf").source == "perf"
+        else:
+            with pytest.raises(RuntimeError, match="perf_event_open failed"):
+                make_harness(force="perf")
+
+    def test_unknown_rung_rejected(self):
+        with pytest.raises(ValueError, match="unknown counter source"):
+            make_harness(force="bogus")
+        with pytest.raises(ValueError):
+            CounterHarness("bogus")
+
+    def test_env_var_forces_rung(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HWCOUNTERS", "time")
+        assert make_harness().source == "time"
+        monkeypatch.setenv("REPRO_HWCOUNTERS", "auto")
+        assert make_harness().source in (*CHAIN, "off")
+
+    def test_probe_selects_a_chain_rung(self):
+        caps = probe_capabilities()
+        assert caps["selected"] in CHAIN
+        if not caps["perf"]:
+            assert caps["selected"] in ("rusage", "time")
+
+    def test_sample_overhead_is_bounded(self):
+        harness = make_harness(force="rusage")
+        n = 2000
+        for _ in range(n):
+            harness.sample()
+        # the smoke bench gates at 5% of step wall; here just pin the
+        # per-sample cost to an order of magnitude below a small kernel
+        assert harness.overhead_seconds / n < 50e-6
+
+    def test_publish_overhead_exports_gauge(self):
+        harness = make_harness(force="rusage")
+        harness.sample()
+        registry = MetricsRegistry()
+        value = harness.publish_overhead(registry)
+        snapshot = json.dumps(registry.to_json())
+        assert "repro_counter_overhead_seconds" in snapshot
+        assert "rusage" in snapshot
+        assert value == harness.overhead_seconds > 0
+
+    def test_counter_sample_add_accumulates(self):
+        a = CounterSample(1.0, 0.5, 2.0, 100.0)
+        b = CounterSample(2.0, 0.25, 1.0, 50.0)
+        total = a.add(b)
+        assert total.wall_seconds == 3.0
+        assert total.cpu_seconds == 0.75
+        assert total.cycles == 150.0
+        assert total.instructions is None
+
+
+# -- provenance ----------------------------------------------------------------
+
+
+class TestProvenance:
+    def test_fallback_line_is_exact(self):
+        line = counter_provenance_line(make_harness(force="rusage"))
+        assert line == "counters: unavailable (fallback=rusage)"
+        line = counter_provenance_line(make_harness(force="time"))
+        assert line == "counters: unavailable (fallback=time)"
+
+    def test_disabled_line(self):
+        assert counter_provenance_line(make_harness(force="off")) == (
+            "counters: disabled"
+        )
+
+    def test_profiler_report_carries_provenance(self, forced_harness):
+        forced_harness("rusage")
+        profiler = SolverProfiler()
+        with profiler.measure("phi", cells=100):
+            sum(range(1000))
+        report = profiler.report()
+        assert report.strip().endswith("counters: unavailable (fallback=rusage)")
+
+
+# -- per-kernel attribution through the profiler -------------------------------
+
+
+class TestAttribution:
+    def test_measure_absorbs_counters(self, forced_harness):
+        forced_harness("rusage")
+        profiler = SolverProfiler()
+        with profiler.measure("phi", cells=1000):
+            sum(range(50000))
+        rec = profiler.records["phi"]
+        assert rec.calls == 1
+        assert rec.cpu_seconds >= 0
+        assert rec.counted_calls == 0       # rusage rung has no cycle counts
+
+    def test_tight_dispatch_wins_over_outer_delta(self, forced_harness):
+        forced_harness("rusage")
+        profiler = SolverProfiler()
+        tight = CounterSample(0.001, 0.001, 0.0, 4000.0, 8000.0)
+        with profiler.measure("phi", cells=1000):
+            sum(range(200000))              # outer cost the tight delta excludes
+            attribute_dispatch(tight)
+        rec = profiler.records["phi"]
+        assert rec.cycles == 4000.0 and rec.instructions == 8000.0
+        assert rec.cpu_seconds == pytest.approx(0.001)
+        assert rec.counted_calls == 1
+        assert rec.cycles_per_lup == pytest.approx(4.0)
+        assert rec.ipc == pytest.approx(2.0)
+
+    def test_multiple_dispatches_accumulate(self):
+        with attribution_scope() as slot:
+            attribute_dispatch(CounterSample(0.1, cycles=100.0))
+            attribute_dispatch(CounterSample(0.2, cycles=50.0))
+            attribute_dispatch(None)        # no-op, backends call unconditionally
+        assert slot.sample.cycles == 150.0
+        assert slot.sample.wall_seconds == pytest.approx(0.3)
+
+    def test_dispatch_outside_scope_is_noop(self):
+        attribute_dispatch(CounterSample(0.1, cycles=1.0))   # must not raise
+
+    def test_merge_accumulates_counter_fields(self, forced_harness):
+        forced_harness("rusage")
+        a, b = SolverProfiler(), SolverProfiler()
+        for profiler in (a, b):
+            with profiler.measure("phi", cells=10):
+                attribute_dispatch(CounterSample(0.1, 0.1, 0.0, 500.0))
+        a.merge(b)
+        rec = a.records["phi"]
+        assert rec.cycles == 1000.0 and rec.counted_calls == 2
+
+    def test_measured_bytes_per_lup_from_misses(self):
+        from repro.profiling.profiler import TimingRecord
+
+        rec = TimingRecord("phi", calls=1, seconds=1.0, cells=64)
+        rec.cache_misses, rec.cycles = 16.0, 1.0
+        assert rec.measured_bytes_per_lup(line_bytes=64) == pytest.approx(16.0)
+        rec.cache_misses = 0.0
+        assert rec.measured_bytes_per_lup() is None
+
+
+# -- the repro-perf/1 ledger ---------------------------------------------------
+
+
+def _record(bench="kernels", name="kernels/phi", mlups=10.0,
+            fingerprint="f" * 16, options=None, timestamp="2026-08-08T00:00:00"):
+    return perf_record(
+        bench, name,
+        measured={"mlups": mlups, "mean_seconds": 1.0 / mlups,
+                  "counter_source": "rusage"},
+        predicted={"mlups": mlups * 2},
+        kernel={"name": "phi", "fingerprint": fingerprint},
+        options=options or {"backend": "c"},
+        timestamp=timestamp,
+    )
+
+
+class TestPerfLedger:
+    def test_round_trip(self, tmp_path):
+        ledger = PerfLedger(tmp_path / "deep" / "history.jsonl")
+        assert ledger.load() == []
+        written = ledger.extend([_record(mlups=10.0), _record(mlups=11.0)])
+        assert written == 2
+        loaded = ledger.load(strict=True)
+        assert [r["measured"]["mlups"] for r in loaded] == [10.0, 11.0]
+        assert all(r["schema"] == "repro-perf/1" for r in loaded)
+        assert all(r["host"]["key"] == host_stanza()["key"] for r in loaded)
+
+    def test_append_only(self, tmp_path):
+        ledger = PerfLedger(tmp_path / "h.jsonl")
+        ledger.append(_record(mlups=1.0))
+        ledger.append(_record(mlups=2.0))
+        assert len(ledger.path.read_text().splitlines()) == 2
+
+    def test_series_keying(self, tmp_path):
+        ledger = PerfLedger(tmp_path / "h.jsonl")
+        ledger.extend([
+            _record(mlups=10.0),
+            _record(mlups=11.0),
+            _record(fingerprint="a" * 16),              # new kernel variant
+            _record(options={"backend": "numpy"}),      # new codegen options
+            _record(name="kernels/mu"),                 # different kernel
+        ])
+        series = ledger.series()
+        assert len(series) == 4
+        lengths = sorted(len(records) for records in series.values())
+        assert lengths == [1, 1, 1, 2]
+        for key in series:
+            assert len(key) == 5
+
+    def test_host_key_excludes_hostname(self):
+        stanza = host_stanza()
+        record = _record()
+        assert record["host"]["key"] == stanza["key"]
+        # tampering with the hostname must not move the record to a new
+        # series: the key hashes hardware identity only
+        tampered = json.loads(json.dumps(record))
+        tampered["host"]["hostname"] = "some-other-ci-container"
+        assert series_key(tampered) == series_key(record)
+
+    def test_invalid_records_rejected(self):
+        with pytest.raises(PerfSchemaError, match="not finite"):
+            perf_record("b", "n", measured={"mlups": math.nan})
+        with pytest.raises(PerfSchemaError, match="fingerprint"):
+            perf_record("b", "n", measured={"mlups": 1.0},
+                        kernel={"name": "phi"})
+        with pytest.raises(PerfSchemaError, match="schema"):
+            validate_perf_record({"schema": "repro-bench/1"})
+        with pytest.raises(PerfSchemaError, match="measured"):
+            validate_perf_record({**_record(), "measured": {}})
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        ledger = PerfLedger(tmp_path / "h.jsonl")
+        ledger.extend([_record(mlups=10.0), _record(mlups=11.0)])
+        with open(ledger.path, "a") as fh:
+            fh.write('{"schema": "repro-perf/1", "bench": "ker')   # torn write
+        assert len(ledger.load()) == 2
+        assert len(ledger.load(strict=True)) == 2   # torn tail always forgiven
+
+    def test_strict_raises_on_malformed_middle_line(self, tmp_path):
+        ledger = PerfLedger(tmp_path / "h.jsonl")
+        ledger.append(_record())
+        with open(ledger.path, "a") as fh:
+            fh.write('{"schema": "wrong"}\n')
+        ledger.append(_record())
+        assert len(ledger.load()) == 2              # lenient: skip bad line
+        with pytest.raises(PerfSchemaError, match="h.jsonl:2"):
+            ledger.load(strict=True)
+
+    def test_rundir_perf_artifact(self, tmp_path):
+        rundir = RunDir(tmp_path / "run", config={})
+        assert rundir.perf_path == rundir.perf_dir / "perf.jsonl"
+        PerfLedger(rundir.perf_path).append(_record())
+        rundir.write_manifest(status="ok")
+        artifacts = rundir.artifacts()
+        assert "perf" in artifacts and artifacts["perf"] == ["perf.jsonl"]
+        assert len(PerfLedger(rundir.perf_path).load(strict=True)) == 1
+
+
+# -- records_from_profiler: the measured-vs-predicted join --------------------
+
+
+class TestRecordsFromProfiler:
+    def test_solver_export(self, tmp_path, forced_harness):
+        forced_harness("rusage")
+        from repro.perfmodel.ledger import records_from_profiler
+        from repro.pfm import (
+            GrandPotentialModel,
+            SingleBlockSolver,
+            make_two_phase_binary,
+            planar_front,
+        )
+
+        params = make_two_phase_binary(dim=2)
+        kernels = GrandPotentialModel(params).create_kernels()
+        shape = (16, 16)
+        solver = SingleBlockSolver(kernels, shape)
+        solver.set_state(
+            planar_front(shape, params.n_phases, 0, 1, position=6.0,
+                         epsilon=params.epsilon),
+            mu=0.0,
+        )
+        solver.step(3)
+        records = records_from_profiler(
+            "unit", kernels.all_kernels, solver.profiler,
+            block_shape=shape, options={"backend": solver.backend},
+        )
+        assert records, "profiled kernels must produce perf records"
+        by_name = {r["name"]: r for r in records}
+        assert any(name.startswith("kernels/") for name in by_name)
+        for record in records:
+            validate_perf_record(record)
+            assert record["kernel"]["fingerprint"]
+            assert record["measured"]["mlups"] > 0
+            assert record["measured"]["counter_source"] == "rusage"
+            assert record["measured"]["cycles_per_lup"] is None
+            assert record["predicted"]["mlups"] > 0
+        ledger = PerfLedger(tmp_path / "h.jsonl")
+        ledger.extend(records)
+        assert len(ledger.series()) == len(records)
+
+
+# -- perf_trend: regressions against a rolling baseline ------------------------
+
+
+class TestPerfTrend:
+    def _history(self, tmp_path, mlups_values, **kwargs):
+        ledger = PerfLedger(tmp_path / "history.jsonl")
+        ledger.extend(
+            _record(mlups=v, timestamp=f"2026-08-0{i + 1}T00:00:00", **kwargs)
+            for i, v in enumerate(mlups_values)
+        )
+        return ledger
+
+    def test_regression_flagged_with_direction(self, tmp_path):
+        trend = _load_tool("perf_trend")
+        ledger = self._history(tmp_path, [10.0, 10.0, 10.0, 10.0, 10.0, 7.0])
+        regressions = trend.find_regressions(
+            ledger.series(), threshold=0.15, window=5, min_history=3
+        )
+        metrics = {r["metric"]: r for r in regressions}
+        # mlups dropped 30% (higher-is-better) and mean_seconds rose ~43%
+        # (lower-is-better): both directions must flag
+        assert metrics["mlups"]["change"] == pytest.approx(0.30)
+        assert metrics["mean_seconds"]["change"] == pytest.approx(3 / 7)
+
+    def test_improvement_not_flagged(self, tmp_path):
+        trend = _load_tool("perf_trend")
+        ledger = self._history(tmp_path, [10.0, 10.0, 10.0, 14.0])
+        assert trend.find_regressions(
+            ledger.series(), threshold=0.15, window=5, min_history=3
+        ) == []
+
+    def test_short_series_skipped(self, tmp_path):
+        trend = _load_tool("perf_trend")
+        ledger = self._history(tmp_path, [10.0, 5.0])
+        assert trend.find_regressions(
+            ledger.series(), threshold=0.15, window=5, min_history=3
+        ) == []
+
+    def test_cli_exit_codes_and_html(self, tmp_path, capsys):
+        trend = _load_tool("perf_trend")
+        ledger = self._history(tmp_path, [10.0, 10.0, 10.0, 10.0, 10.0, 7.0])
+        out = tmp_path / "trend.html"
+        argv = ["--history", str(ledger.path), "--out", str(out)]
+        assert trend.main(argv) == 1                      # regression
+        assert trend.main([*argv, "--warn-only"]) == 0    # warn-only passes
+        html = out.read_text()
+        assert "<svg" in html and "Regressions" in html
+        assert "kernels/kernels/phi" in html or "kernels/phi" in html
+        capsys.readouterr()
+
+    def test_cli_missing_history_is_ok(self, tmp_path, capsys):
+        trend = _load_tool("perf_trend")
+        code = trend.main(["--history", str(tmp_path / "absent.jsonl"),
+                           "--out", str(tmp_path / "t.html")])
+        assert code == 0
+        capsys.readouterr()
+
+    def test_cli_invalid_history_fails(self, tmp_path, capsys):
+        trend = _load_tool("perf_trend")
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema": "wrong"}\n\n')
+        code = trend.main(["--history", str(bad),
+                           "--out", str(tmp_path / "t.html")])
+        assert code == 2
+        capsys.readouterr()
+
+
+# -- host auto-detection -------------------------------------------------------
+
+
+class TestHostDetection:
+    def test_physical_cores(self):
+        cores, detected = detect_physical_cores()
+        assert isinstance(cores, int) and cores >= 1
+        assert isinstance(detected, bool)
+
+    def test_cache_hierarchy(self):
+        levels, line_bytes, detected = detect_cache_hierarchy()
+        assert levels and all(size > 0 for _name, size in levels)
+        sizes = [size for _name, size in levels]
+        assert sizes == sorted(sizes), "cache sizes must grow outwards"
+        assert line_bytes in (32, 64, 128, 256)
+        assert isinstance(detected, bool)
+
+    def test_host_stanza_fields_and_stability(self):
+        host = detect_host()
+        for field in ("cpu_model", "arch", "physical_cores", "caches",
+                      "cache_line_bytes", "hostname", "key"):
+            assert field in host
+        assert len(host["key"]) == 16
+        assert detect_host()["key"] == host["key"], "key must be deterministic"
+
+    def test_detect_machine_overrides_base(self):
+        machine = detect_machine()
+        assert machine.cores_per_socket >= 1
+        assert machine.cache_line_bytes >= 32
+        assert machine.cache_levels, "must keep a cache hierarchy"
+        assert machine.cache_levels[-1].shared, "last level stays shared"
+        # clock and bandwidth keep the base values: no portable way to
+        # read sustained AVX clock or saturated bandwidth from /sys
+        assert machine.clock_ghz == HASWELL_2690V3.clock_ghz
+        assert machine.mem_bandwidth_gbs == HASWELL_2690V3.mem_bandwidth_gbs

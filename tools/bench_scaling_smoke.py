@@ -1,6 +1,14 @@
 #!/usr/bin/env python3
 """Small fig3-style scaling smoke benchmark for CI (writes BENCH_scaling.json).
 
+Also runs a single-block per-kernel smoke (after every process-backend
+measurement — libgomp's thread pool does not survive a fork) that writes
+``BENCH_kernels.json`` at the repo root, appends one ``repro-perf/1``
+record per kernel (plus the scaling series) to the append-only history
+under ``benchmarks/history/``, and gates the hardware-counter sampling
+overhead below ``OVERHEAD_BUDGET`` — the same self-measured < 5 % bar as
+the flight recorder.
+
 Runs the two-phase binary model on 1/2/4 ranks over a small 2D block forest
 — a miniature of the paper's Fig. 3 scaling study — and records
 per-rank-count MLUP/s plus the parallel efficiency relative to the 1-rank
@@ -53,7 +61,13 @@ sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 from repro.backends.c_backend import c_compiler_available  # noqa: E402
 from repro.observability.bench import BenchWriter  # noqa: E402
+from repro.observability.hwcounters import get_counter_harness  # noqa: E402
 from repro.observability.recorder import get_recorder  # noqa: E402
+from repro.perfmodel.ledger import (  # noqa: E402
+    PerfLedger,
+    perf_record,
+    records_from_profiler,
+)
 from repro.parallel import (  # noqa: E402
     BlockForest,
     DistributedSolver,
@@ -63,6 +77,7 @@ from repro.parallel import (  # noqa: E402
 )
 from repro.pfm import (  # noqa: E402
     GrandPotentialModel,
+    SingleBlockSolver,
     make_two_phase_binary,
     planar_front,
 )
@@ -147,9 +162,89 @@ def _precompile(kernels) -> None:
         DistributedSolver(kernels, forest, overlap=overlap, backend=BACKEND)
 
 
+def _kernels_smoke(kernels, params, history: PerfLedger, failures: list) -> BenchWriter:
+    """Per-kernel MLUP/s on one block, with the counter-overhead gate.
+
+    Must run after every process-backend measurement (libgomp fork
+    hazard); writes a ``kernels`` BENCH suite, appends per-kernel
+    ``repro-perf/1`` records and gates the hardware-counter sampling cost
+    below ``OVERHEAD_BUDGET`` of the measured wall.
+    """
+    shape = tuple(n // 2 for n in BLOCK_SHAPE)
+    solver = SingleBlockSolver(kernels, shape, backend=BACKEND)
+    solver.set_state(
+        planar_front(shape, params.n_phases, 0, 1,
+                     position=shape[0] / 2, epsilon=params.epsilon),
+        mu=0.0,
+    )
+    solver.step(WARMUP)
+    solver.profiler.reset()
+    harness = get_counter_harness()
+    overhead_before = harness.overhead_seconds
+    t0 = perf_counter()
+    solver.step(STEPS)
+    wall = perf_counter() - t0
+    counter_fraction = (harness.overhead_seconds - overhead_before) / wall
+    harness.publish_overhead()
+
+    writer = BenchWriter("kernels")
+    kernel_records = []
+    for rec in sorted(solver.profiler.records.values(), key=lambda r: r.name):
+        if rec.cells == 0 or rec.seconds == 0.0:
+            continue
+        metrics = {"mlups": rec.mlups, "mean_seconds": rec.mean_seconds}
+        if rec.cycles_per_lup is not None:
+            metrics["cycles_per_lup"] = rec.cycles_per_lup
+        writer.add(
+            f"kernel_{rec.name}",
+            params={
+                "shape": "x".join(map(str, shape)),
+                "steps": STEPS,
+                "backend": BACKEND,
+            },
+            **metrics,
+        )
+        print(f"kernel {rec.name}: {rec.mlups:.3f} MLUP/s "
+              f"({rec.mean_seconds * 1e3:.3f} ms/call)")
+    writer.add(
+        "counter_overhead",
+        params={"backend": BACKEND, "source": harness.source},
+        counter_overhead_fraction=counter_fraction,
+    )
+    print(
+        f"hardware-counter overhead: {counter_fraction * 100:.3f}% of wall "
+        f"(source={harness.source}, budget {OVERHEAD_BUDGET * 100:.0f}%)"
+    )
+    if counter_fraction > OVERHEAD_BUDGET:
+        failures.append(
+            f"hardware-counter sampling overhead {counter_fraction * 100:.2f}% "
+            f"of step wall time exceeds the {OVERHEAD_BUDGET * 100:.0f}% budget"
+        )
+
+    kernel_records = records_from_profiler(
+        "kernels_smoke",
+        kernels.all_kernels,
+        solver.profiler,
+        block_shape=shape,
+        options={"backend": BACKEND, "shape": list(shape)},
+    )
+    appended = history.extend(kernel_records)
+    print(f"appended {appended} kernel record(s) to {history.path}")
+    return writer
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=str(_REPO_ROOT / "BENCH_scaling.json"))
+    parser.add_argument(
+        "--kernels-out", default=str(_REPO_ROOT / "BENCH_kernels.json"),
+        help="where to write the per-kernel BENCH document",
+    )
+    parser.add_argument(
+        "--history",
+        default=str(_REPO_ROOT / "benchmarks" / "history" / "perf_history.jsonl"),
+        help="append-only repro-perf/1 JSONL ledger",
+    )
     parser.add_argument(
         "--skip-real", action="store_true",
         help="skip the process-backend measurements (simulator only)",
@@ -274,6 +369,27 @@ def main(argv=None) -> int:
             )
     elif not args.skip_real:
         warnings.append("process backend unavailable; real metrics skipped")
+
+    # per-kernel smoke + counter-overhead gate + history append (must stay
+    # after every process-backend run — libgomp fork hazard, see docstring)
+    history = PerfLedger(args.history)
+    kernels_writer = _kernels_smoke(kernels, params, history, failures)
+    kernels_path = kernels_writer.write(args.kernels_out)
+    print(f"wrote {kernels_path}")
+
+    # the scaling series also lands in the append-only history (bench-level
+    # records: no kernel fingerprint, direction per metric name)
+    scaling_records = [
+        perf_record(
+            "scaling_smoke",
+            record["name"],
+            record["metrics"],
+            options=record["params"],
+        )
+        for record in writer.records
+    ]
+    print(f"appended {history.extend(scaling_records)} scaling record(s) "
+          f"to {history.path}")
 
     path = writer.write(args.out)
     print(f"wrote {path}")

@@ -24,7 +24,10 @@ Checks that
   blocks) and every artifact it lists actually exists on disk;
 * with ``--require-overhead-gauge``: ``metrics.prom`` carries the
   flight recorder's self-measured
-  ``repro_observability_overhead_seconds`` gauge.
+  ``repro_observability_overhead_seconds`` gauge;
+* with ``--require-perf``: the run directory (``--manifest RUNDIR``)
+  carries a ``perf/perf.jsonl`` ledger with at least one valid
+  ``repro-perf/1`` record, listed in the manifest inventory.
 
 Exits non-zero with a message on the first violation, so it can gate CI.
 """
@@ -163,7 +166,10 @@ def check_manifest(rundir: Path) -> None:
     for key, value in manifest["artifacts"].items():
         names = value if isinstance(value, list) else [value]
         for name in names:
-            target = (base / "checkpoints" / name) if key == "checkpoints" else base / name
+            if key in ("checkpoints", "perf"):
+                target = base / key / name
+            else:
+                target = base / name
             if not target.exists():
                 stale.append(f"{key} -> {name}")
     if stale:
@@ -173,6 +179,33 @@ def check_manifest(rundir: Path) -> None:
         f"(status={manifest['status']}, "
         f"{len(manifest['artifacts'])} artifacts, "
         f"wall {manifest['wall_seconds']:.2f}s)"
+    )
+
+
+def check_perf(rundir: Path) -> None:
+    """Require a non-empty, valid repro-perf/1 ledger in the run dir."""
+    from repro.perfmodel.ledger import PerfLedger, PerfSchemaError
+
+    base = rundir if rundir.is_dir() else rundir.parent
+    path = base / "perf" / "perf.jsonl"
+    if not path.exists():
+        fail(f"{rundir}: perf/perf.jsonl missing (--require-perf)")
+    try:
+        records = PerfLedger(path).load(strict=True)
+    except PerfSchemaError as exc:
+        fail(f"{path}: invalid repro-perf/1 ledger ({exc})")
+    if not records:
+        fail(f"{path}: perf ledger holds no records")
+    try:
+        manifest = load_manifest(rundir)
+    except (OSError, ValueError, json.JSONDecodeError):
+        manifest = None
+    if manifest is not None and "perf" not in manifest.get("artifacts", {}):
+        fail(f"{rundir}: perf artifact not listed in the manifest inventory")
+    sources = {r["measured"].get("counter_source") for r in records}
+    print(
+        f"check_observability: {path}: {len(records)} repro-perf/1 record(s), "
+        f"counter source(s) {sorted(str(s) for s in sources)}"
     )
 
 
@@ -218,13 +251,20 @@ def main(argv: list[str]) -> None:
                         help="also validate RUNDIR/manifest.json completeness")
     parser.add_argument("--require-overhead-gauge", action="store_true",
                         help=f"require the {OVERHEAD_GAUGE} gauge in the metrics")
+    parser.add_argument("--require-perf", action="store_true",
+                        help="require a valid perf/perf.jsonl in the rundir "
+                             "(needs --manifest)")
     args = parser.parse_args(argv)
+    if args.require_perf and not args.manifest:
+        parser.error("--require-perf needs --manifest RUNDIR")
     check_trace(Path(args.trace))
     check_metrics(Path(args.metrics), require_overhead=args.require_overhead_gauge)
     if args.diagnostics:
         check_diagnostics(Path(args.diagnostics))
     if args.manifest:
         check_manifest(Path(args.manifest))
+    if args.require_perf:
+        check_perf(Path(args.manifest))
     print("check_observability: OK")
 
 

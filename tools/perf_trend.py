@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Render perf-history trends and gate regressions vs a rolling baseline.
+
+Reads an append-only ``repro-perf/1`` JSONL ledger (default
+``benchmarks/history/perf_history.jsonl``), groups records into series by
+{bench x name x kernel fingerprint x codegen options x host key} — records
+from different machines or variants are never compared — and
+
+* renders per-series sparkline trends plus the measured-vs-ECM closure
+  drift into one self-contained HTML page (same inline-CSS/SVG idioms as
+  ``run_report.py``),
+* compares the latest record of every series against a *rolling baseline*
+  (the median of the preceding ``--window`` records) and exits 1 when any
+  watched metric regressed by more than ``--threshold``.
+
+Exit codes: 0 ok / nothing comparable, 1 regression (suppressed by
+``--warn-only``), 2 unreadable or invalid history.
+
+Usage::
+
+    python tools/perf_trend.py [--history PATH] [--out trend.html]
+        [--threshold 0.15] [--window 5] [--min-history 3] [--warn-only]
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from run_report import _CSS, esc, fmt, svg_line_chart, table  # noqa: E402
+
+from repro.observability.bench import lower_is_better  # noqa: E402
+from repro.perfmodel.ledger import (  # noqa: E402
+    DEFAULT_HISTORY,
+    PerfLedger,
+    PerfSchemaError,
+)
+
+#: measured metrics watched for regressions (when present and non-null)
+WATCHED_METRICS = ("mlups", "mean_seconds", "cycles_per_lup")
+
+
+def series_label(key: tuple) -> str:
+    bench, name, fingerprint, options, host = key
+    parts = [f"{bench}/{name}"]
+    if fingerprint:
+        parts.append(f"fp={fingerprint[:10]}")
+    parts.append(f"host={host[:8]}")
+    return " ".join(parts)
+
+
+def metric_series(records: list[dict], metric: str) -> list[float | None]:
+    return [r["measured"].get(metric) for r in records]
+
+
+def closure_series(records: list[dict], metric: str) -> list[float | None]:
+    """measured/predicted ratio per record, where both sides exist."""
+    out = []
+    for r in records:
+        measured = r["measured"].get(metric)
+        predicted = (r.get("predicted") or {}).get(metric)
+        if measured is None or not predicted:
+            out.append(None)
+        else:
+            out.append(measured / predicted)
+    return out
+
+
+def find_regressions(
+    series: dict[tuple, list[dict]],
+    threshold: float,
+    window: int,
+    min_history: int,
+) -> list[dict]:
+    """Latest-vs-rolling-baseline comparison over every watched metric.
+
+    The baseline is the median of the up-to-*window* records preceding the
+    latest; series shorter than *min_history* are skipped (a fresh variant
+    has no trend to regress against).
+    """
+    regressions = []
+    for key, records in series.items():
+        if len(records) < min_history:
+            continue
+        latest = records[-1]
+        baseline_window = records[-(window + 1):-1]
+        for metric in WATCHED_METRICS:
+            current = latest["measured"].get(metric)
+            history = [
+                r["measured"].get(metric)
+                for r in baseline_window
+                if r["measured"].get(metric) is not None
+            ]
+            if current is None or len(history) < min_history - 1:
+                continue
+            baseline = statistics.median(history)
+            if baseline == 0:
+                continue
+            if lower_is_better(metric):
+                change = current / baseline - 1.0       # + = slower = worse
+            else:
+                change = 1.0 - current / baseline       # + = fewer = worse
+            if change > threshold:
+                regressions.append(
+                    {
+                        "series": series_label(key),
+                        "metric": metric,
+                        "baseline": baseline,
+                        "current": current,
+                        "change": change,
+                    }
+                )
+    return regressions
+
+
+def build_html(series: dict[tuple, list[dict]], regressions: list[dict]) -> str:
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        "<title>perf trend</title>",
+        f"<style>{_CSS}</style></head><body>",
+        "<h1>Kernel performance trends</h1>",
+        f'<p class="muted">generated {time.strftime("%Y-%m-%d %H:%M:%S")} — '
+        f"{len(series)} series, "
+        f"{sum(len(r) for r in series.values())} records</p>",
+    ]
+    if regressions:
+        parts.append('<h2 class="crashed">Regressions</h2>')
+        parts.append(
+            table(
+                ["series", "metric", "baseline", "current", "change"],
+                [
+                    (
+                        r["series"],
+                        r["metric"],
+                        fmt(r["baseline"]),
+                        fmt(r["current"]),
+                        f"{r['change'] * 100:+.1f}%",
+                    )
+                    for r in regressions
+                ],
+                left={0, 1},
+            )
+        )
+    else:
+        parts.append('<p class="ok">no regressions vs rolling baseline</p>')
+
+    for key in sorted(series, key=series_label):
+        records = series[key]
+        latest = records[-1]
+        parts.append(f"<h2>{esc(series_label(key))}</h2>")
+        host = latest["host"]
+        source = latest["measured"].get("counter_source", "?")
+        parts.append(
+            f'<p class="muted">{esc(host.get("cpu_model", "unknown cpu"))} — '
+            f"{host.get('physical_cores', '?')} core(s), "
+            f"counters: {esc(source)}, {len(records)} record(s)</p>"
+        )
+        summary_rows = []
+        for metric in WATCHED_METRICS:
+            values = [v for v in metric_series(records, metric) if v is not None]
+            if not values:
+                continue
+            summary_rows.append(
+                (metric, len(values), fmt(min(values)), fmt(max(values)),
+                 fmt(values[-1]))
+            )
+        if summary_rows:
+            parts.append(
+                table(["metric", "points", "min", "max", "latest"], summary_rows)
+            )
+        for metric in WATCHED_METRICS:
+            values = metric_series(records, metric)
+            if sum(v is not None for v in values) >= 2:
+                parts.append(svg_line_chart(values, label=metric))
+        ratios = closure_series(records, "mlups")
+        if sum(v is not None for v in ratios) >= 2:
+            parts.append(
+                svg_line_chart(ratios, label="closure: measured/predicted MLUP/s")
+            )
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--history", type=Path, default=DEFAULT_HISTORY,
+                        help="repro-perf/1 JSONL ledger to analyse")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the trend HTML here")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative regression gate (0.15 = 15%%)")
+    parser.add_argument("--window", type=int, default=5,
+                        help="rolling-baseline window (records per series)")
+    parser.add_argument("--min-history", type=int, default=3,
+                        help="records a series needs before it is gated")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0")
+    args = parser.parse_args(argv)
+
+    ledger = PerfLedger(args.history)
+    if not ledger.path.exists():
+        print(f"perf_trend: no history at {ledger.path} (nothing to compare)")
+        return 0
+    try:
+        series = ledger.series()
+    except PerfSchemaError as exc:
+        print(f"perf_trend: invalid history: {exc}", file=sys.stderr)
+        return 2
+    if not series:
+        print(f"perf_trend: {ledger.path} holds no valid records")
+        return 2
+
+    regressions = find_regressions(
+        series, args.threshold, args.window, args.min_history
+    )
+
+    if args.out:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(build_html(series, regressions))
+        print(f"perf_trend: wrote {args.out}")
+
+    print(
+        f"perf_trend: {len(series)} series, "
+        f"{sum(len(r) for r in series.values())} records, "
+        f"{len(regressions)} regression(s)"
+    )
+    for r in regressions:
+        print(
+            f"  REGRESSION {r['series']} {r['metric']}: "
+            f"{fmt(r['baseline'])} -> {fmt(r['current'])} "
+            f"({r['change'] * 100:+.1f}% worse)"
+        )
+    if regressions and not args.warn_only:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -299,6 +299,54 @@ def section_overhead(metrics) -> str:
     )
 
 
+def load_perf_records(rundir: Path) -> list[dict] | None:
+    path = rundir / "perf" / "perf.jsonl"
+    if not path.exists():
+        return None
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail write
+            if rec.get("schema") == "repro-perf/1":
+                records.append(rec)
+    return records
+
+
+def section_perf(records) -> str:
+    out = ["<h2>Kernel performance counters</h2>"]
+    if not records:
+        out.append('<p class="section-missing">(no perf/perf.jsonl — '
+                   "run with a RunDir and call export_perf)</p>")
+        return "".join(out)
+    sources = sorted({
+        str(r.get("measured", {}).get("counter_source", "?")) for r in records
+    })
+    out.append(f'<p class="muted">counter source(s): {esc(", ".join(sources))}, '
+               f"{len(records)} record(s)</p>")
+    rows = []
+    for r in records:
+        m = r.get("measured", {})
+        p = r.get("predicted") or {}
+        rows.append((
+            r.get("name", "-"),
+            fmt(m.get("mlups")), fmt(p.get("mlups")),
+            fmt(m.get("cycles_per_lup")), fmt(p.get("cycles_per_lup")),
+            fmt(m.get("bytes_per_lup")), fmt(p.get("bytes_per_lup")),
+            fmt(m.get("ipc")),
+        ))
+    out.append(table(
+        ["series", "MLUP/s", "pred MLUP/s", "cy/LUP", "pred cy/LUP",
+         "B/LUP", "pred B/LUP", "IPC"], rows
+    ))
+    return "".join(out)
+
+
 def section_comm(comm) -> str:
     out = ["<h2>Communication matrix</h2>"]
     if comm is None:
@@ -415,6 +463,7 @@ def render_report(rundir: Path, manifest: dict) -> str:
         section_overhead(metrics),
         section_diagnostics(load_diagnostics(rundir)),
         section_accuracy(metrics),
+        section_perf(load_perf_records(rundir)),
         section_comm(load_json(rundir / "comm_matrix.json")),
         section_health(load_health(rundir)),
         section_postmortem(load_json(rundir / "postmortem.json")),
