@@ -104,11 +104,22 @@ def parse_args(argv=None):
                          "(free energy, phase fraction, interface area) to a CSV")
     ap.add_argument("--log-level", metavar="LEVEL",
                     help="enable structured logging (DEBUG, INFO, ...)")
+    ap.add_argument("--fingerprints", metavar="PATH", nargs="?",
+                    const="fingerprints.jsonl", default=None,
+                    help="stream per-step repro-fingerprint/1 state digests "
+                         "to PATH (default fingerprints.jsonl); two runs of "
+                         "this script produce byte-identical ledgers")
+    ap.add_argument("--audit-against", metavar="PATH",
+                    help="self-audit: compare each emitted fingerprint "
+                         "against the reference ledger at PATH and abort at "
+                         "the first divergent (step, field, block); implies "
+                         "--fingerprints")
     ap.add_argument("--rundir", metavar="PATH",
                     help="bundle every artifact (trace, metrics, diagnostics, "
-                         "journal, health log) under one run directory with a "
-                         "manifest.json; implies --trace/--metrics/"
-                         "--diagnostics/--health at their canonical paths")
+                         "journal, health log, fingerprints) under one run "
+                         "directory with a manifest.json; implies --trace/"
+                         "--metrics/--diagnostics/--health/--fingerprints at "
+                         "their canonical paths")
     return ap.parse_args(argv)
 
 
@@ -121,7 +132,10 @@ def main(argv=None):
         args.trace = args.trace or str(rundir.trace_path)
         args.metrics = args.metrics or str(rundir.metrics_path)
         args.diagnostics = args.diagnostics or str(rundir.diagnostics_path)
+        args.fingerprints = args.fingerprints or str(rundir.fingerprint_path)
         args.health = True
+    if args.audit_against and not args.fingerprints:
+        args.fingerprints = "fingerprints.jsonl"
     if args.trace:
         enable_tracing()
     if args.log_level:
@@ -177,6 +191,26 @@ def _run(args, health, rundir):
         0.5 - 0.5 * np.sin(np.clip(d / 4.0, -np.pi / 2, np.pi / 2)), 0, 1
     )
 
+    fingerprints = None
+    if args.fingerprints:
+        from repro.observability import FingerprintStream
+
+        # the determinism observatory: per-step BLAKE2b digests of the
+        # interior bytes; with --audit-against each record is compared
+        # online and the first divergent (step, field, block) raises
+        fingerprints = FingerprintStream(
+            path=args.fingerprints,
+            reference=args.audit_against,
+            health=health,
+            metrics=bool(args.metrics),
+            trace=bool(args.trace),
+        )
+
+    def record_fingerprint(ts):
+        fingerprints.record_state(
+            ts, ts * 0.05, {"phi": arrays["phi"][1:-1, 1:-1]}, dim=2
+        )
+
     def area():
         return arrays["phi"][1:-1, 1:-1].sum()
 
@@ -186,6 +220,8 @@ def _run(args, health, rundir):
 
     if series is not None:
         eval_diagnostics(0)
+    if fingerprints is not None:
+        record_fingerprint(0)
 
     profiler = SolverProfiler()
     print("\n   step     area A      dA/dt (should be ~constant < 0)")
@@ -204,6 +240,8 @@ def _run(args, health, rundir):
             np.clip(arrays["phi_dst"], 0.0, 1.0, out=arrays["phi_dst"])
             arrays["phi"], arrays["phi_dst"] = arrays["phi_dst"], arrays["phi"]
             recorder.step_end(ts, perf_counter() - t0)
+            if fingerprints is not None:
+                record_fingerprint(ts)
             if series is not None and ts % 10 == 0:
                 eval_diagnostics(ts)
             if health is not None and health.due(ts):
@@ -221,6 +259,9 @@ def _run(args, health, rundir):
             f"(free energy {e[0]:.2f} -> {e[-1]:.2f}, "
             f"non-increasing on {drops}/{len(e) - 1} intervals)"
         )
+
+    if fingerprints is not None:
+        print("\n" + fingerprints.summary())
 
     print()
     print(model_accuracy_report([kernel], profiler, block_shape=(n, n)))

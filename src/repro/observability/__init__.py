@@ -47,6 +47,20 @@ from .distributed import (
     merge_rank_traces,
     rank_tracer,
 )
+from .fingerprint import (
+    FINGERPRINT_SCHEMA,
+    FingerprintLedger,
+    FingerprintSchemaError,
+    FingerprintStream,
+    block_key,
+    combined_digest,
+    digest_array,
+    find_mismatches,
+    fingerprint_record,
+    parse_block_key,
+    tiled_digests,
+    validate_fingerprint_record,
+)
 from .health import HealthError, HealthEvent, HealthMonitor
 from .hwcounters import (
     CounterHarness,
@@ -60,6 +74,7 @@ from .hwcounters import (
     probe_capabilities,
     set_counter_harness,
 )
+from .jsonl import JsonlLedger
 from .log import configure_logging, get_logger, kv
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -110,12 +125,17 @@ __all__ = [
     "CounterHarness",
     "CounterSample",
     "DEFAULT_BUCKETS",
+    "FINGERPRINT_SCHEMA",
+    "FingerprintLedger",
+    "FingerprintSchemaError",
+    "FingerprintStream",
     "FlightRecorder",
     "Gauge",
     "HealthError",
     "HealthEvent",
     "HealthMonitor",
     "Histogram",
+    "JsonlLedger",
     "MANIFEST_SCHEMA",
     "MetricsRegistry",
     "PIPELINE_LAYERS",
@@ -126,17 +146,22 @@ __all__ = [
     "Tracer",
     "attribute_dispatch",
     "attribution_scope",
+    "block_key",
     "capture_postmortem",
+    "combined_digest",
     "comm_closure_report",
-    "counter_provenance_line",
     "comm_closure_rows",
     "configure_logging",
+    "counter_provenance_line",
+    "digest_array",
     "disable_tracing",
     "enable_tracing",
     "export_accuracy_metrics",
     "export_merged_trace",
     "field_stats",
+    "find_mismatches",
     "find_sample",
+    "fingerprint_record",
     "get_counter_harness",
     "get_logger",
     "get_recorder",
@@ -152,6 +177,7 @@ __all__ = [
     "merge_rank_traces",
     "model_accuracy_report",
     "model_accuracy_rows",
+    "parse_block_key",
     "parse_prometheus",
     "perf_events_available",
     "probe_capabilities",
@@ -165,6 +191,8 @@ __all__ = [
     "set_thread_recorder",
     "set_thread_tracer",
     "set_tracer",
+    "tiled_digests",
     "validate_bench_document",
+    "validate_fingerprint_record",
     "write_postmortem",
 ]

@@ -47,7 +47,7 @@ class HealthEvent:
     """One failed check at one point in simulated time."""
 
     time_step: int
-    check: str          # "nan" | "phase_sum" | "bounds" | "conservation" | "energy_decay"
+    check: str          # "nan" | "phase_sum" | "bounds" | "conservation" | "energy_decay" | "divergence"
     field: str
     message: str
     value: float = 0.0
@@ -248,6 +248,45 @@ class HealthMonitor:
                             )
                         )
 
+        self.n_checks += 1
+        self._record(found, registry)
+        return found
+
+    def check_fingerprint(
+        self,
+        mismatches: list[dict],
+        time_step: int = 0,
+        where: str = "",
+    ) -> list[HealthEvent]:
+        """Report state-fingerprint divergence from a reference ledger.
+
+        *mismatches* is the per-``(field, block)`` digest diff produced by
+        :func:`repro.observability.fingerprint.find_mismatches`, already in
+        the fixed traversal order, so ``mismatches[0]`` is the most
+        upstream divergent pair.  The event names the step, the field and
+        the block of that first mismatch and carries the total divergent
+        pair count as its value; it goes through the same policy/metrics
+        machinery as the field checks (check kind ``"divergence"``).
+        """
+        registry = get_registry()
+        registry.counter(
+            "repro_health_checks_total", "health checks executed"
+        ).inc()
+        found: list[HealthEvent] = []
+        if mismatches:
+            first = mismatches[0]
+            actual = first.get("actual") or "missing"
+            expected = first.get("expected") or "missing"
+            found.append(
+                HealthEvent(
+                    time_step, "divergence", first["field"],
+                    f"block ({first['block']}): fingerprint {actual} != "
+                    f"reference {expected}; {len(mismatches)} (field, block) "
+                    f"pair(s) diverged at this step",
+                    float(len(mismatches)),
+                    where=f"{where} block ({first['block']})".strip(),
+                )
+            )
         self.n_checks += 1
         self._record(found, registry)
         return found

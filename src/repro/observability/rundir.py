@@ -10,6 +10,7 @@ a metrics dump there, checkpoints wherever the caller pointed them.
       metrics.prom         # Prometheus text-format metrics snapshot
       metrics.json         # same registry, JSON form
       diagnostics.csv      # in-situ physics diagnostics series
+      fingerprints.jsonl   # repro-fingerprint/1 determinism ledger
       health.jsonl         # health watchdog events
       journal.jsonl        # flight-recorder event journal (rank 0)
       journal.rank3.jsonl  # per-rank journals under launch_ranks
@@ -62,6 +63,7 @@ _ARTIFACTS = {
     "metrics_prom": "metrics.prom",
     "metrics_json": "metrics.json",
     "diagnostics": "diagnostics.csv",
+    "fingerprints": "fingerprints.jsonl",
     "health": "health.jsonl",
     "journal": "journal.jsonl",
     "comm_matrix": "comm_matrix.json",
@@ -105,6 +107,11 @@ class RunDir:
     @property
     def diagnostics_path(self) -> Path:
         return self.path / _ARTIFACTS["diagnostics"]
+
+    @property
+    def fingerprint_path(self) -> Path:
+        """The run's ``repro-fingerprint/1`` determinism ledger."""
+        return self.path / _ARTIFACTS["fingerprints"]
 
     @property
     def health_path(self) -> Path:

@@ -161,6 +161,7 @@ class DistributedSolver:
         self.health = health
         self._diag_suite = None
         self._diag_series = None
+        self._fp_stream = None
         self._cells_per_block = {
             coords: int(np.prod(block.interior_shape))
             for coords, block in self.blocks.items()
@@ -504,6 +505,11 @@ class DistributedSolver:
                     self._evaluate_diagnostics()
                 if self.health is not None and self.health.due(self.time_step):
                     self._check_health()
+                if (
+                    self._fp_stream is not None
+                    and self.time_step % self._fp_every == 0
+                ):
+                    self._evaluate_fingerprints()
             dt = perf_counter() - t0
             recorder.step_end(begin_step, dt)
             self.step_seconds += dt
@@ -600,6 +606,80 @@ class DistributedSolver:
                 phase_sum_of="phi",
                 where=f"rank {self.rank} block {coords}",
             )
+
+    # -- determinism fingerprints ----------------------------------------------
+
+    def enable_fingerprints(
+        self,
+        every: int = 1,
+        fields: tuple[str, ...] | None = None,
+        reference=None,
+        path=None,
+    ):
+        """Stream ``repro-fingerprint/1`` state digests every *every* steps.
+
+        Collective: every rank digests its own blocks' interiors, the
+        per-block digests are allgathered and assembled in sorted
+        block-coordinate order, so every rank — and a single-block run
+        fingerprinted with ``tile_shape=forest.block_shape`` — emits the
+        bit-identical record stream.  The ledger is written on rank 0
+        only; the online audit against *reference* runs on ALL ranks
+        (same merged record), so a policy-"raise" monitor aborts every
+        rank at the first divergent (step, field, block).
+        """
+        from ..observability.fingerprint import FingerprintStream
+
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        names = tuple(fields) if fields else ("phi", "mu")
+        for name in names:
+            for block in self.blocks.values():
+                if name not in block.arrays:
+                    raise ValueError(f"unknown field {name!r}")
+        if path is None and self.rundir is not None:
+            path = self.rundir.fingerprint_path
+        self._fp_stream = FingerprintStream(
+            path=path if self.rank == 0 else None,
+            reference=reference,
+            health=self.health,
+            where=f"rank {self.rank}" if self.n_ranks > 1 else "",
+            metrics=self.rank == 0,
+        )
+        self._fp_every = int(every)
+        self._fp_fields = names
+        self._evaluate_fingerprints()
+        return self._fp_stream
+
+    @property
+    def fingerprints(self):
+        """The live :class:`FingerprintStream`, or ``None`` when disabled."""
+        return self._fp_stream
+
+    def _evaluate_fingerprints(self) -> dict:
+        from ..observability.fingerprint import block_key, digest_array
+
+        self._finish_pending()
+        t0 = perf_counter()
+        gl = self.ghost_layers
+        sl = (slice(gl, -gl),) * self.forest.dim
+        local: dict[str, dict[str, str]] = {}
+        for coords, block in self.blocks.items():
+            local[block_key(coords)] = {
+                name: digest_array(block.arrays[name][sl])
+                for name in self._fp_fields
+            }
+        if self.comm is not None:
+            merged: dict[str, dict[str, str]] = {}
+            for part in self.comm.allgather(local):
+                merged.update(part)
+        else:
+            merged = local
+        fields = {
+            name: {key: merged[key][name] for key in merged}
+            for name in self._fp_fields
+        }
+        self._fp_stream.add_overhead(perf_counter() - t0)
+        return self._fp_stream.record_digests(self.time_step, self.time, fields)
 
     # -- diagnostics ----------------------------------------------------------
 

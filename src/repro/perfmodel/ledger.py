@@ -46,11 +46,11 @@ from __future__ import annotations
 
 import json
 import math
-import os
 from datetime import datetime, timezone
 from pathlib import Path
 
 from ..observability.bench import git_sha
+from ..observability.jsonl import JsonlLedger
 from .machine import detect_host
 
 __all__ = [
@@ -172,50 +172,22 @@ def series_key(record: dict) -> tuple:
     )
 
 
-class PerfLedger:
-    """Append-only JSONL history of ``repro-perf/1`` records."""
+class PerfLedger(JsonlLedger):
+    """Append-only JSONL history of ``repro-perf/1`` records.
+
+    The append/load mechanics (fsync'd whole-line writes, torn-tail
+    forgiveness, ``path:lineno`` strict errors) live in the shared
+    :class:`repro.observability.jsonl.JsonlLedger`; this subclass binds
+    them to the ``repro-perf/1`` schema and the default history location.
+    """
+
+    SchemaError = PerfSchemaError
 
     def __init__(self, path=None):
-        self.path = Path(path) if path is not None else DEFAULT_HISTORY
+        super().__init__(path if path is not None else DEFAULT_HISTORY)
 
-    def append(self, record: dict) -> None:
-        self.extend([record])
-
-    def extend(self, records) -> int:
-        """Validate and append *records*; returns how many were written."""
-        validated = [validate_perf_record(r) for r in records]
-        if not validated:
-            return 0
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a") as fh:
-            for record in validated:
-                fh.write(json.dumps(record, sort_keys=True) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        return len(validated)
-
-    def load(self, strict: bool = False) -> list[dict]:
-        """All valid records, oldest first.
-
-        A truncated final line (a run killed mid-append) is skipped
-        silently; any other malformed line is skipped unless *strict*.
-        """
-        if not self.path.exists():
-            return []
-        records: list[dict] = []
-        lines = self.path.read_text().splitlines()
-        for i, line in enumerate(lines):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(validate_perf_record(json.loads(line)))
-            except (json.JSONDecodeError, PerfSchemaError) as exc:
-                if i == len(lines) - 1 and isinstance(exc, json.JSONDecodeError):
-                    continue    # torn tail write
-                if strict:
-                    raise PerfSchemaError(f"{self.path}:{i + 1}: {exc}") from exc
-        return records
+    def validate(self, record) -> dict:
+        return validate_perf_record(record)
 
     def series(self) -> dict[tuple, list[dict]]:
         """Records grouped by :func:`series_key`, each oldest first."""
@@ -223,9 +195,6 @@ class PerfLedger:
         for record in self.load():
             grouped.setdefault(series_key(record), []).append(record)
         return grouped
-
-    def __repr__(self):
-        return f"PerfLedger({str(self.path)!r})"
 
 
 def records_from_profiler(

@@ -91,6 +91,7 @@ class SingleBlockSolver:
         self._callbacks: list[tuple[int, object]] = []
         self._diag_suite = None
         self._diag_series = None
+        self._fp_stream = None
         self._step_latency = get_registry().histogram(
             "repro_step_seconds", "wall time per solver time step", solver="single"
         )
@@ -289,6 +290,72 @@ class SingleBlockSolver:
             )
         return values
 
+    # -- determinism fingerprints ----------------------------------------------
+
+    def enable_fingerprints(
+        self,
+        every: int = 1,
+        fields: tuple[str, ...] | None = None,
+        reference=None,
+        path=None,
+        tile_shape: tuple[int, ...] | None = None,
+        metrics: bool = True,
+        trace: bool = True,
+    ):
+        """Stream ``repro-fingerprint/1`` state digests every *every* steps.
+
+        Each record carries per-``(field, block)`` BLAKE2b digests of the
+        interior bytes plus a combined digest, taken in the fixed
+        lexicographic traversal order — pass a distributed run's block
+        shape as *tile_shape* to reproduce its per-block stream bit for
+        bit (the default treats the whole interior as one block).
+
+        *path* defaults to the attached RunDir's canonical
+        ``fingerprints.jsonl``.  *reference* (a ledger file or run
+        directory) makes the run self-auditing: every record is compared
+        online and the first mismatching ``(field, block)`` trips a
+        ``divergence`` health event through the solver's monitor (or a
+        private ``policy="raise"`` one when none is attached).  Records
+        once immediately and then after each *every*-th step.
+        """
+        from ..observability.fingerprint import FingerprintStream
+
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        names = tuple(fields) if fields else ("phi", "mu")
+        for name in names:
+            if name not in self.arrays:
+                raise ValueError(f"unknown field {name!r}")
+        if path is None and self.rundir is not None:
+            path = self.rundir.fingerprint_path
+        self._fp_stream = FingerprintStream(
+            path=path,
+            reference=reference,
+            health=self.health,
+            metrics=metrics,
+            trace=trace,
+        )
+        self._fp_every = int(every)
+        self._fp_fields = names
+        self._fp_tiles = tuple(tile_shape) if tile_shape else None
+        self._evaluate_fingerprints()
+        return self._fp_stream
+
+    @property
+    def fingerprints(self):
+        """The live :class:`FingerprintStream`, or ``None`` when disabled."""
+        return self._fp_stream
+
+    def _evaluate_fingerprints(self) -> dict:
+        interiors = {name: self._interior(name) for name in self._fp_fields}
+        return self._fp_stream.record_state(
+            self.time_step,
+            self.time,
+            interiors,
+            dim=self.params.dim,
+            tile_shape=self._fp_tiles,
+        )
+
     def step(self, n_steps: int = 1) -> None:
         """Advance the solution by *n_steps* explicit Euler steps."""
         tracer = get_tracer()
@@ -332,6 +399,13 @@ class SingleBlockSolver:
                 for every, fn in self._callbacks:
                     if self.time_step % every == 0:
                         fn(self)
+                # fingerprints run LAST: they must digest the state the
+                # next step will consume, after any steering callback
+                if (
+                    self._fp_stream is not None
+                    and self.time_step % self._fp_every == 0
+                ):
+                    self._evaluate_fingerprints()
             seconds = perf_counter() - t0
             recorder.step_end(begin_step, seconds)
             self._step_latency.observe(seconds)

@@ -27,7 +27,11 @@ Checks that
   ``repro_observability_overhead_seconds`` gauge;
 * with ``--require-perf``: the run directory (``--manifest RUNDIR``)
   carries a ``perf/perf.jsonl`` ledger with at least one valid
-  ``repro-perf/1`` record, listed in the manifest inventory.
+  ``repro-perf/1`` record, listed in the manifest inventory;
+* with ``--require-fingerprints``: the run directory carries a
+  ``fingerprints.jsonl`` determinism ledger whose records validate
+  against the ``repro-fingerprint/1`` schema with strictly increasing
+  step numbers, listed in the manifest inventory.
 
 Exits non-zero with a message on the first violation, so it can gate CI.
 """
@@ -209,6 +213,41 @@ def check_perf(rundir: Path) -> None:
     )
 
 
+def check_fingerprints(rundir: Path) -> None:
+    """Require a valid repro-fingerprint/1 ledger in the run dir."""
+    from repro.observability.fingerprint import (
+        FingerprintLedger,
+        FingerprintSchemaError,
+    )
+
+    base = rundir if rundir.is_dir() else rundir.parent
+    path = base / "fingerprints.jsonl"
+    if not path.exists():
+        fail(f"{rundir}: fingerprints.jsonl missing (--require-fingerprints)")
+    try:
+        records = FingerprintLedger(path).load(strict=True)
+    except FingerprintSchemaError as exc:
+        fail(f"{path}: invalid repro-fingerprint/1 ledger ({exc})")
+    if not records:
+        fail(f"{path}: fingerprint ledger holds no records")
+    steps = [r["step"] for r in records]
+    if any(b <= a for a, b in zip(steps, steps[1:])):
+        fail(f"{path}: step numbers are not strictly increasing")
+    try:
+        manifest = load_manifest(rundir)
+    except (OSError, ValueError, json.JSONDecodeError):
+        manifest = None
+    if manifest is not None and "fingerprints" not in manifest.get(
+        "artifacts", {}
+    ):
+        fail(f"{rundir}: fingerprints artifact not in the manifest inventory")
+    fields = sorted(records[0]["fields"])
+    print(
+        f"check_observability: {path}: {len(records)} repro-fingerprint/1 "
+        f"record(s), steps {steps[0]}..{steps[-1]}, fields {fields}"
+    )
+
+
 def check_diagnostics(path: Path) -> None:
     import csv
 
@@ -254,9 +293,14 @@ def main(argv: list[str]) -> None:
     parser.add_argument("--require-perf", action="store_true",
                         help="require a valid perf/perf.jsonl in the rundir "
                              "(needs --manifest)")
+    parser.add_argument("--require-fingerprints", action="store_true",
+                        help="require a valid fingerprints.jsonl determinism "
+                             "ledger in the rundir (needs --manifest)")
     args = parser.parse_args(argv)
     if args.require_perf and not args.manifest:
         parser.error("--require-perf needs --manifest RUNDIR")
+    if args.require_fingerprints and not args.manifest:
+        parser.error("--require-fingerprints needs --manifest RUNDIR")
     check_trace(Path(args.trace))
     check_metrics(Path(args.metrics), require_overhead=args.require_overhead_gauge)
     if args.diagnostics:
@@ -265,6 +309,8 @@ def main(argv: list[str]) -> None:
         check_manifest(Path(args.manifest))
     if args.require_perf:
         check_perf(Path(args.manifest))
+    if args.require_fingerprints:
+        check_fingerprints(Path(args.manifest))
     print("check_observability: OK")
 
 

@@ -48,6 +48,7 @@ th, td { border: 1px solid #c8d1dc; padding: .25rem .6rem; text-align: right; }
 th { background: #eef2f7; }
 td.l, th.l { text-align: left; }
 .ok { color: #15803d; font-weight: 600; }
+.bad { color: #b91c1c; font-weight: 600; }
 .crashed { color: #b91c1c; font-weight: 600; }
 .running { color: #b45309; font-weight: 600; }
 .muted { color: #6b7280; font-size: .9rem; }
@@ -375,6 +376,124 @@ def section_comm(comm) -> str:
     return "".join(out)
 
 
+def load_fingerprints(rundir: Path) -> list[dict] | None:
+    path = rundir / "fingerprints.jsonl"
+    if not path.exists():
+        return None
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return records
+
+
+def svg_heatmap(grid, width=320, label="") -> str:
+    """Inline SVG of a coarse 2D max-ulp grid (darker = larger ulp)."""
+    rows = len(grid)
+    cols = len(grid[0]) if rows else 0
+    if not rows or not cols:
+        return '<p class="section-missing">(empty heatmap)</p>'
+    peak = max(max(r) for r in grid) or 1
+    cell = max(6, min(24, width // cols))
+    w, h = cols * cell, rows * cell
+    out = [
+        f'<svg width="{w}" height="{h + 16}" role="img" '
+        f'aria-label="{esc(label)}">'
+    ]
+    for i, row in enumerate(grid):
+        for j, v in enumerate(row):
+            # log-ish shading so a single-ulp cell is still visible
+            alpha = 0.08 + 0.92 * ((v / peak) ** 0.4 if v else 0.0)
+            fill = f"rgba(153, 27, 27, {alpha:.2f})" if v else "#eef2f7"
+            out.append(
+                f'<rect x="{j * cell}" y="{i * cell}" width="{cell - 1}" '
+                f'height="{cell - 1}" fill="{fill}"><title>'
+                f"({i},{j}): {v} ulp</title></rect>"
+            )
+    out.append(
+        f'<text x="0" y="{h + 12}" font-size="10" fill="#6b7280">'
+        f"{esc(label)} — peak {peak} ulp</text></svg>"
+    )
+    return "".join(out)
+
+
+def section_determinism(records, divergence) -> str:
+    out = ["<h2>Determinism</h2>"]
+    if records is None and divergence is None:
+        out.append('<p class="section-missing">(no fingerprints.jsonl — '
+                   "fingerprinting disabled)</p>")
+        return "".join(out)
+    if records:
+        steps = [r.get("step", 0) for r in records]
+        fields = sorted((records[0].get("fields") or {}).keys())
+        blocks = sum(len(b) for b in (records[0].get("fields") or {}).values())
+        out.append(
+            f"<p>{len(records)} <code>repro-fingerprint/1</code> records, "
+            f"steps {min(steps)}..{max(steps)}, fields "
+            f"{esc(', '.join(fields))} ({blocks} (field, block) digests per "
+            f"record); last combined digest "
+            f"<code>{esc(records[-1].get('digest', '?'))}</code></p>"
+        )
+    elif records is not None:
+        out.append('<p class="section-missing">(fingerprints.jsonl is empty)</p>')
+    if divergence is None:
+        return "".join(out)
+    div = divergence.get("first_divergence")
+    if div is None:
+        out.append(
+            f'<p class="ok">divergence analysis vs '
+            f"<code>{esc(divergence.get('b', '?'))}</code>: all "
+            f"{divergence.get('common_steps', 0)} common-step records "
+            "identical</p>"
+        )
+        return "".join(out)
+    out.append(
+        f'<p class="bad">FIRST DIVERGENCE vs '
+        f"<code>{esc(divergence.get('b', '?'))}</code> at step "
+        f"<b>{div.get('step')}</b>, field <b>{esc(str(div.get('field')))}</b>, "
+        f"block <b>({esc(str(div.get('block')))})</b> — "
+        f"{div.get('n_mismatches', '?')} (field, block) pair(s) differ</p>"
+    )
+    context = divergence.get("context") or []
+    if context:
+        out.append(table(
+            ["step", "this run", "reference", "match"],
+            [(c.get("step"), c.get("digest_a", "")[:16],
+              c.get("digest_b", "")[:16], "ok" if c.get("match") else "DIVERGED")
+             for c in context],
+            left={1, 2, 3},
+        ))
+    cp = divergence.get("checkpoint")
+    if cp:
+        out.append(
+            f"<h3>Ulp diff at nearest common checkpoint "
+            f"(step {cp.get('step')})</h3>"
+        )
+        rows = [
+            (name, st.get("max_ulp"), fmt(st.get("mean_ulp", 0.0)),
+             f"{st.get('mismatch_count')}/{st.get('compared')}",
+             st.get("nonfinite_mismatches", 0))
+            for name, st in sorted((cp.get("fields") or {}).items())
+        ]
+        out.append(table(
+            ["field", "max ulp", "mean ulp", "cells differing", "non-finite"],
+            rows,
+        ))
+        for name, st in sorted((cp.get("fields") or {}).items()):
+            grid = st.get("heatmap")
+            if grid and st.get("max_ulp"):
+                out.append(svg_heatmap(
+                    grid, label=f"{name}: coarse spatial max-ulp map"
+                ))
+    return "".join(out)
+
+
 def section_health(events) -> str:
     out = ["<h2>Health events</h2>"]
     if events is None:
@@ -465,6 +584,9 @@ def render_report(rundir: Path, manifest: dict) -> str:
         section_accuracy(metrics),
         section_perf(load_perf_records(rundir)),
         section_comm(load_json(rundir / "comm_matrix.json")),
+        section_determinism(
+            load_fingerprints(rundir), load_json(rundir / "divergence.json")
+        ),
         section_health(load_health(rundir)),
         section_postmortem(load_json(rundir / "postmortem.json")),
     ]
