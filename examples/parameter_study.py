@@ -87,6 +87,13 @@ def main():
           f"+{after.misses - before.misses} compiles, "
           f"+{after.hits - before.hits} cache hits")
 
+    # --- persistent disk tier: a rerun of this script compiles nothing -------
+    from repro.profiling import cache_root, disk_cache_stats
+
+    print(f"{disk_cache_stats()} (persistent root: {cache_root()})")
+    print("rerun this script: every kernel above becomes a disk hit — the "
+          "sympy→C→cc latency is paid once per machine, not once per process")
+
     print(f"\n{solver.profile_report()}")
 
 

@@ -8,8 +8,12 @@ the AVX-512 ``rsqrt14`` intrinsics).  An embedded scalar Philox-4x32-10
 matches the NumPy backend bit for bit.
 
 Generated kernels are compiled on the fly with the system C compiler and
-cached by source hash; results are bitwise comparable with the NumPy backend
-(verified in tests).
+published into the persistent cross-process cache
+(:mod:`repro.profiling.diskcache`): keyed by the kernel's structural IR
+fingerprint plus compiler identity and codegen revision, file-locked so
+concurrent processes compile each kernel at most once, and atomically
+renamed into place so no process can ever ``dlopen`` a partial ``.so``.
+Results are bitwise comparable with the NumPy backend (verified in tests).
 """
 
 from __future__ import annotations
@@ -18,7 +22,6 @@ import ctypes
 import hashlib
 import os
 import subprocess
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -352,32 +355,85 @@ def c_compiler_available() -> bool:
     return which(os.environ.get("CC", "cc")) is not None
 
 
-_CACHE_DIR = Path(tempfile.gettempdir()) / "repro_c_kernels"
+#: flag basis every shared-object build uses (the -fopenmp variant is
+#: tried first); folded into the cache key so a flag change rebuilds
+_BASE_FLAGS = ("-O3", "-march=native", "-std=c99", "-shared", "-fPIC", "-lm")
 
 
-def _build_shared_object(source: str, func_name: str) -> Path:
-    _CACHE_DIR.mkdir(exist_ok=True)
-    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
-    so_path = _CACHE_DIR / f"{func_name}_{digest}.so"
-    if so_path.exists():
-        return so_path
-    c_path = _CACHE_DIR / f"{func_name}_{digest}.c"
-    c_path.write_text(source)
+def _compile_attempts(tmp_path: Path, c_path: Path) -> None:
+    """Compile *c_path* to *tmp_path*: ``-fopenmp`` first, plain fallback.
+
+    Each failed attempt unlinks whatever the compiler left at *tmp_path*,
+    so the retry (and the caller) never sees a partial artifact.
+    """
     cc = os.environ.get("CC", "cc")
-    base = [cc, "-O3", "-march=native", "-std=c99", "-shared", "-fPIC", "-lm"]
+    base = [cc, *_BASE_FLAGS]
+    last = None
     for flags in ([*base, "-fopenmp"], base):
         try:
             subprocess.run(
-                [*flags, "-o", str(so_path), str(c_path)],
+                [*flags, "-o", str(tmp_path), str(c_path)],
                 check=True,
                 capture_output=True,
             )
-            return so_path
+            return
         except subprocess.CalledProcessError as err:
+            tmp_path.unlink(missing_ok=True)
             last = err
     raise RuntimeError(
         f"C compilation failed:\n{last.stderr.decode(errors='replace')}"
     )
+
+
+def _build_shared_object(
+    source: str,
+    func_name: str,
+    key: str | None = None,
+    extra_meta: dict | None = None,
+) -> Path:
+    """Publish the compiled ``.so`` for *source* into the persistent cache.
+
+    *key* defaults to a source-digest cache key; :func:`compile_c_kernel`
+    passes the structural kernel-IR fingerprint instead so a disk hit can
+    skip source generation entirely.  Compilation happens under the
+    entry's file lock into a unique temp name and is published with an
+    atomic rename — concurrent or killed compiles can never leave a
+    loadable partial artifact.
+    """
+    from ..profiling.diskcache import (
+        KernelDiskCache,
+        cache_key,
+        codegen_revision,
+        compiler_identity,
+    )
+
+    cache = KernelDiskCache()
+    if key is None:
+        digest = hashlib.sha256(source.encode()).hexdigest()
+        key = cache_key(digest, flags=_BASE_FLAGS, backend="c")
+
+    def build(tmp_path: Path) -> None:
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as td:
+            c_path = Path(td) / f"{func_name}.c"
+            c_path.write_text(source)
+            _compile_attempts(tmp_path, c_path)
+
+    so_path, _hit = cache.get_or_build(
+        key,
+        build,
+        source=source,
+        meta={
+            "func_name": func_name,
+            "flags": list(_BASE_FLAGS),
+            "source_sha256": hashlib.sha256(source.encode()).hexdigest(),
+            "compiler": compiler_identity(),
+            "codegen_revision": codegen_revision(),
+            **(extra_meta or {}),
+        },
+    )
+    return so_path
 
 
 @dataclass
@@ -463,23 +519,41 @@ def compile_c_kernel(kernel: Kernel) -> CompiledCKernel:
     from ..observability.log import get_logger, kv
     from ..observability.tracing import get_tracer
 
+    from ..profiling.cache import kernel_fingerprint
+    from ..profiling.diskcache import KernelDiskCache, cache_key
+
     func_name = _c_func_name(kernel.name)
     with get_tracer().span(f"codegen:c:{kernel.name}", category="backend") as span:
-        source = generate_c_source(kernel, func_name)
-        digest = hashlib.sha256(source.encode()).hexdigest()[:16]
-        so_existed = (_CACHE_DIR / f"{func_name}_{digest}.so").exists()
-        so_path = _build_shared_object(source, func_name)
+        fingerprint = kernel_fingerprint(kernel)
+        key = cache_key(fingerprint, flags=_BASE_FLAGS, backend="c")
+        cache = KernelDiskCache()
+        hit = cache.lookup(key) is not None
+        if hit:
+            # warm start: the key pins fingerprint + codegen revision +
+            # compiler identity, so the stored source is exactly what we
+            # would regenerate — skip sympy→C emission entirely
+            source = cache.load_source(key)
+            if source is None:
+                source = generate_c_source(kernel, func_name)
+        else:
+            source = generate_c_source(kernel, func_name)
+        so_path = _build_shared_object(
+            source,
+            func_name,
+            key=key,
+            extra_meta={"kernel": kernel.name, "fingerprint": fingerprint},
+        )
         lib = ctypes.CDLL(str(so_path))
         func = getattr(lib, func_name)
         func.restype = None
         if span is not None:
-            span.args["disk_cache"] = "hit" if so_existed else "miss"
+            span.args["disk_cache"] = "hit" if hit else "miss"
         get_logger("backends.c").info(
             kv(
                 "c_kernel_ready",
                 kernel=kernel.name,
                 so=so_path.name,
-                disk_cache="hit" if so_existed else "miss",
+                disk_cache="hit" if hit else "miss",
             )
         )
         return CompiledCKernel(kernel, source, func)

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..backends.c_backend import _CACHE_DIR, generate_c_source
+from ..backends.c_backend import generate_c_source
 from ..ir.kernel import Kernel
 
 __all__ = ["MeasuredPerformance", "measure_kernel", "generate_benchmark_source"]
@@ -146,30 +146,46 @@ def measure_kernel(
     """Compile and run the benchmark harness; parse the measured sweep time."""
     import hashlib
     import os
+    import tempfile
+    from pathlib import Path
+
+    from ..profiling.diskcache import KernelDiskCache, cache_key
 
     source = generate_benchmark_source(kernel, interior_shape, iterations, repeats)
-    _CACHE_DIR.mkdir(exist_ok=True)
-    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
-    exe = _CACHE_DIR / f"bench_{kernel.name}_{digest}"
-    if not exe.exists():
-        c_path = exe.with_suffix(".c")
-        c_path.write_text(source)
-        cc = os.environ.get("CC", "cc")
-        base = [cc, "-O3", "-march=native", "-std=c99"]
-        for flags in ([*base, "-fopenmp"], base):
-            try:
-                subprocess.run(
-                    [*flags, "-o", str(exe), str(c_path), "-lm"],
-                    check=True,
-                    capture_output=True,
-                )
-                break
-            except subprocess.CalledProcessError as err:
-                last = err
-        else:
+    bench_flags = ("-O3", "-march=native", "-std=c99", "-lm")
+    digest = hashlib.sha256(source.encode()).hexdigest()
+    key = cache_key(digest, flags=bench_flags, backend="c-bench")
+    cache = KernelDiskCache()
+
+    def build(tmp_path: Path) -> None:
+        with tempfile.TemporaryDirectory() as td:
+            c_path = Path(td) / f"bench_{kernel.name}.c"
+            c_path.write_text(source)
+            cc = os.environ.get("CC", "cc")
+            base = [cc, "-O3", "-march=native", "-std=c99"]
+            last = None
+            for flags in ([*base, "-fopenmp"], base):
+                try:
+                    subprocess.run(
+                        [*flags, "-o", str(tmp_path), str(c_path), "-lm"],
+                        check=True,
+                        capture_output=True,
+                    )
+                    return
+                except subprocess.CalledProcessError as err:
+                    tmp_path.unlink(missing_ok=True)
+                    last = err
             raise RuntimeError(
                 f"benchmark compilation failed:\n{last.stderr.decode(errors='replace')}"
             )
+
+    exe, _hit = cache.get_or_build(
+        key,
+        build,
+        source=source,
+        meta={"kernel": kernel.name, "flags": list(bench_flags), "artifact": "bench"},
+        artifact="bench",
+    )
     out = subprocess.run(
         [str(exe)], capture_output=True, text=True, timeout=timeout, check=True
     ).stdout

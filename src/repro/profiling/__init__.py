@@ -1,10 +1,13 @@
 """Shared kernel cache and runtime profiling (observability subsystem).
 
-Two concerns every solver shares:
+Three concerns every solver shares:
 
 * :mod:`repro.profiling.cache` — compile each generated kernel once per
   process and reuse it across solver instances (keyed on backend plus a
   structural fingerprint of the kernel IR),
+* :mod:`repro.profiling.diskcache` — the persistent cross-process tier:
+  a content-addressed on-disk ``.so`` store with file-locked atomic
+  publication, so a warm process compiles nothing,
 * :mod:`repro.profiling.profiler` — per-kernel wall-clock accounting
   (calls, time, MLUP/s, bytes exchanged) rendered as a report table.
 """
@@ -16,14 +19,28 @@ from .cache import (
     kernel_cache_stats,
     kernel_fingerprint,
 )
+from .diskcache import (
+    DiskCacheStats,
+    KernelDiskCache,
+    cache_key,
+    cache_root,
+    disk_cache_stats,
+    reset_disk_cache_stats,
+)
 from .profiler import SolverProfiler, TimingRecord
 
 __all__ = [
     "CacheStats",
+    "DiskCacheStats",
+    "KernelDiskCache",
     "SolverProfiler",
     "TimingRecord",
+    "cache_key",
+    "cache_root",
     "clear_kernel_cache",
     "compile_cached",
+    "disk_cache_stats",
     "kernel_cache_stats",
     "kernel_fingerprint",
+    "reset_disk_cache_stats",
 ]

@@ -116,7 +116,13 @@ def _compile(kernel: Kernel, backend: str):
 
 
 def compile_cached(kernel: Kernel, backend: str = "numpy"):
-    """Compile *kernel* for *backend*, reusing any structurally equal build."""
+    """Compile *kernel* for *backend*, reusing any structurally equal build.
+
+    Lookup order is memory → disk → compile: a miss here falls through to
+    the backend compiler, and for the C backend that consults the
+    persistent cross-process disk tier (:mod:`repro.profiling.diskcache`)
+    before invoking the toolchain — a warm process compiles nothing.
+    """
     global _HITS, _MISSES
     registry = get_registry()
     with get_tracer().span(
@@ -166,10 +172,20 @@ def kernel_cache_stats() -> CacheStats:
         return CacheStats(hits=_HITS, misses=_MISSES, size=len(_CACHE))
 
 
-def clear_kernel_cache() -> None:
-    """Drop all cached kernels and reset the counters (used by tests)."""
+def clear_kernel_cache(disk: bool = False) -> None:
+    """Drop all cached kernels and reset the counters (used by tests).
+
+    With ``disk=True`` the persistent disk tier (resolved from the current
+    ``REPRO_CACHE_DIR``/XDG environment) is purged too, and its per-process
+    counters reset — tests no longer leak compiled artifacts between runs.
+    """
     global _HITS, _MISSES
     with _LOCK:
         _CACHE.clear()
         _HITS = 0
         _MISSES = 0
+    if disk:
+        from .diskcache import KernelDiskCache, reset_disk_cache_stats
+
+        KernelDiskCache().purge()
+        reset_disk_cache_stats()

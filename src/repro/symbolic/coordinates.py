@@ -47,6 +47,13 @@ class CoordinateSymbol(sp.Symbol):
     def __getnewargs_ex__(self):
         return (self.axis,), {}
 
+    # sympy's ReprPrinter dispatches on the class NAME and would route this
+    # class to the sympy.vector CoordinateSymbol printer, which reads a
+    # ``.coord_sys`` attribute we don't have; srepr() is what kernel
+    # fingerprinting hashes, so emit our own deterministic form instead.
+    def _sympyrepr(self, printer):
+        return f"CoordinateSymbol({self.axis})"
+
 
 def coord(axis: int) -> CoordinateSymbol:
     """Return the coordinate symbol for ``axis`` (0, 1 or 2)."""

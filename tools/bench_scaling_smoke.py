@@ -275,6 +275,88 @@ def _kernels_smoke(kernels, params, history: PerfLedger, failures: list) -> Benc
     return writer
 
 
+#: warm compile_cached must cost at most this fraction of the cold one
+WARMSTART_RATIO = 0.20
+
+_WARMSTART_PROBE = """\
+import json, time
+from quickstart import build_kernel
+from repro.profiling import compile_cached, disk_cache_stats
+kernel = build_kernel()[0]
+t0 = time.perf_counter()
+compile_cached(kernel, "c")
+dt = time.perf_counter() - t0
+s = disk_cache_stats()
+print(json.dumps({"seconds": dt, "builds": s.builds, "hits": s.hits}))
+"""
+
+
+def _measure_codegen_warmstart(writer: BenchWriter, failures: list, warnings: list):
+    """Warm-start gate: a second process compiles **zero** kernels.
+
+    Two fresh subprocesses run the quickstart kernel config against a
+    private disk cache: the first (cold) generates C and invokes the
+    toolchain, the second (warm) must serve every kernel from disk —
+    ``builds == 0`` — and spend at most ``WARMSTART_RATIO`` of the cold
+    ``compile_cached`` wall.  Subprocesses (fork+exec) reset libgomp, so
+    this is safe to run after in-parent OpenMP regions.
+    """
+    if BACKEND != "c":
+        warnings.append("no C compiler; codegen warm-start gate skipped")
+        return
+    import json
+    import subprocess
+    import tempfile
+
+    runs = []
+    with tempfile.TemporaryDirectory() as td:
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = str(Path(td) / "kernel-cache")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(_REPO_ROOT / "src"), str(_REPO_ROOT / "examples")]
+        )
+        for tag in ("cold", "warm"):
+            out = subprocess.run(
+                [sys.executable, "-c", _WARMSTART_PROBE],
+                capture_output=True, text=True, env=env, timeout=600,
+            )
+            if out.returncode != 0:
+                failures.append(
+                    f"codegen warm-start probe ({tag}) failed:\n"
+                    f"{out.stderr.strip()[-2000:]}"
+                )
+                return
+            runs.append(json.loads(out.stdout.strip().splitlines()[-1]))
+    cold, warm = runs
+    writer.add(
+        "codegen_warmstart",
+        params={"backend": BACKEND, "config": "quickstart"},
+        codegen_seconds_cold=cold["seconds"],
+        codegen_seconds_warm=warm["seconds"],
+    )
+    ratio = warm["seconds"] / cold["seconds"] if cold["seconds"] else 1.0
+    print(
+        f"codegen warm start: cold {cold['seconds'] * 1e3:.1f} ms "
+        f"({cold['builds']} build(s)) -> warm {warm['seconds'] * 1e3:.1f} ms "
+        f"({warm['builds']} build(s), {warm['hits']} disk hit(s), "
+        f"ratio {ratio * 100:.1f}%, gate {WARMSTART_RATIO * 100:.0f}%)"
+    )
+    if cold["builds"] == 0:
+        failures.append("codegen warm-start: cold process built nothing")
+    if warm["builds"] != 0:
+        failures.append(
+            f"codegen warm-start: warm process compiled {warm['builds']} "
+            f"kernel(s) — the persistent cache failed to serve them"
+        )
+    if warm["hits"] == 0:
+        failures.append("codegen warm-start: warm process saw no disk hits")
+    if ratio > WARMSTART_RATIO:
+        failures.append(
+            f"codegen warm-start: warm compile took {ratio * 100:.1f}% of the "
+            f"cold one — above the {WARMSTART_RATIO * 100:.0f}% gate"
+        )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=str(_REPO_ROOT / "BENCH_scaling.json"))
@@ -444,6 +526,11 @@ def main(argv=None) -> int:
     kernels_writer = _kernels_smoke(kernels, params, history, failures)
     kernels_path = kernels_writer.write(args.kernels_out)
     print(f"wrote {kernels_path}")
+
+    # ROADMAP item 3's acceptance probe: a second process running the
+    # quickstart config compiles nothing (subprocesses are fork+exec —
+    # no libgomp hazard)
+    _measure_codegen_warmstart(writer, failures, warnings)
 
     # the scaling series also lands in the append-only history (bench-level
     # records: no kernel fingerprint, direction per metric name)

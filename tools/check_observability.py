@@ -31,7 +31,13 @@ Checks that
 * with ``--require-fingerprints``: the run directory carries a
   ``fingerprints.jsonl`` determinism ledger whose records validate
   against the ``repro-fingerprint/1`` schema with strictly increasing
-  step numbers, listed in the manifest inventory.
+  step numbers, listed in the manifest inventory;
+* with ``--require-sweep SWEEPDIR``: ``SWEEPDIR/sweep.json`` is a
+  complete ``repro-sweep/1`` manifest whose totals account for every
+  scenario, every successful scenario's run directory passes the
+  manifest check, and the sweep-level ``metrics.prom`` carries the
+  queue-depth/throughput/scenario-count families (may be used alone,
+  without the positional trace/metrics arguments).
 
 Exits non-zero with a message on the first violation, so it can gate CI.
 """
@@ -248,6 +254,64 @@ def check_fingerprints(rundir: Path) -> None:
     )
 
 
+#: summary keys every sweep scenario entry must carry when it succeeded
+REQUIRED_SCENARIO_KEYS = {
+    "spec", "status", "wall_seconds", "codegen_seconds", "cache", "rundir",
+}
+
+
+def check_sweep(sweep_dir: Path) -> None:
+    """Validate a repro-sweep/1 manifest and its per-scenario run dirs."""
+    from repro.service.sweep import load_sweep_manifest
+
+    try:
+        manifest = load_sweep_manifest(sweep_dir)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        fail(f"{sweep_dir}: sweep manifest not loadable ({exc})")
+    scenarios = manifest.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        fail(f"{sweep_dir}: sweep manifest lists no scenarios")
+    totals = manifest.get("totals")
+    if not isinstance(totals, dict):
+        fail(f"{sweep_dir}: sweep manifest has no totals block")
+    for key in ("ok", "failed", "disk_hits", "disk_builds", "throughput_mlups"):
+        if key not in totals:
+            fail(f"{sweep_dir}: sweep totals missing {key!r}")
+    if totals["ok"] + totals["failed"] != len(scenarios):
+        fail(
+            f"{sweep_dir}: totals ({totals['ok']} ok + {totals['failed']} "
+            f"failed) do not account for {len(scenarios)} scenarios"
+        )
+    for entry in scenarios:
+        name = entry.get("name") or entry.get("spec", {}).get("name", "?")
+        if entry.get("status") == "ok":
+            missing = REQUIRED_SCENARIO_KEYS - set(entry)
+            if missing:
+                fail(f"{sweep_dir}: scenario {name}: keys missing {sorted(missing)}")
+            rundir = Path(entry["rundir"])
+            if not rundir.is_absolute():
+                rundir = sweep_dir / rundir
+            check_manifest(rundir)
+        elif "error" not in entry:
+            fail(f"{sweep_dir}: failed scenario {name} carries no error")
+    metrics_path = sweep_dir / "metrics.prom"
+    if not metrics_path.exists():
+        fail(f"{sweep_dir}: sweep metrics.prom missing")
+    try:
+        parsed = parse_prometheus(metrics_path.read_text())
+    except (OSError, ValueError) as exc:
+        fail(f"{metrics_path}: does not parse ({exc})")
+    for family in ("repro_sweep_scenarios_total", "repro_sweep_queue_depth",
+                   "repro_sweep_throughput_mlups"):
+        if family not in parsed:
+            fail(f"{metrics_path}: sweep metric family {family} missing")
+    print(
+        f"check_observability: {sweep_dir}: sweep manifest ok "
+        f"({totals['ok']} ok / {totals['failed']} failed, "
+        f"disk cache {totals['disk_hits']} hits / {totals['disk_builds']} builds)"
+    )
+
+
 def check_diagnostics(path: Path) -> None:
     import csv
 
@@ -282,12 +346,16 @@ def check_diagnostics(path: Path) -> None:
 
 def main(argv: list[str]) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
-    parser.add_argument("trace", help="Chrome-trace JSON to validate")
-    parser.add_argument("metrics", help="Prometheus text-format snapshot")
+    parser.add_argument("trace", nargs="?", help="Chrome-trace JSON to validate")
+    parser.add_argument("metrics", nargs="?",
+                        help="Prometheus text-format snapshot")
     parser.add_argument("diagnostics", nargs="?",
                         help="optional physics-diagnostics CSV")
     parser.add_argument("--manifest", metavar="RUNDIR",
                         help="also validate RUNDIR/manifest.json completeness")
+    parser.add_argument("--require-sweep", metavar="SWEEPDIR",
+                        help="validate SWEEPDIR/sweep.json (repro-sweep/1) and "
+                             "every successful scenario's run directory")
     parser.add_argument("--require-overhead-gauge", action="store_true",
                         help=f"require the {OVERHEAD_GAUGE} gauge in the metrics")
     parser.add_argument("--require-perf", action="store_true",
@@ -301,8 +369,15 @@ def main(argv: list[str]) -> None:
         parser.error("--require-perf needs --manifest RUNDIR")
     if args.require_fingerprints and not args.manifest:
         parser.error("--require-fingerprints needs --manifest RUNDIR")
-    check_trace(Path(args.trace))
-    check_metrics(Path(args.metrics), require_overhead=args.require_overhead_gauge)
+    if not args.trace and not args.require_sweep:
+        parser.error("positional trace/metrics required unless --require-sweep")
+    if bool(args.trace) != bool(args.metrics):
+        parser.error("trace and metrics must be given together")
+    if args.trace:
+        check_trace(Path(args.trace))
+        check_metrics(
+            Path(args.metrics), require_overhead=args.require_overhead_gauge
+        )
     if args.diagnostics:
         check_diagnostics(Path(args.diagnostics))
     if args.manifest:
@@ -311,6 +386,8 @@ def main(argv: list[str]) -> None:
         check_perf(Path(args.manifest))
     if args.require_fingerprints:
         check_fingerprints(Path(args.manifest))
+    if args.require_sweep:
+        check_sweep(Path(args.require_sweep))
     print("check_observability: OK")
 
 

@@ -609,9 +609,115 @@ def render_report(rundir: Path, manifest: dict) -> str:
     )
 
 
+# -- sweep reports (repro-sweep/1 manifests from repro.service.sweep) ----------
+
+
+def section_sweep_summary(manifest: dict) -> str:
+    totals = manifest.get("totals", {})
+    cls = "ok" if not totals.get("failed") else "bad"
+    rows = [
+        ("scenarios ok", totals.get("ok", 0)),
+        ("scenarios failed", totals.get("failed", 0)),
+        ("workers", manifest.get("workers")),
+        ("backend", manifest.get("backend")),
+        ("sweep wall (s)", fmt(totals.get("wall_seconds"))),
+        ("codegen total (s)", fmt(totals.get("codegen_seconds"))),
+        ("throughput (MLUP/s)", fmt(totals.get("throughput_mlups"))),
+        ("disk-cache hits / builds",
+         f"{totals.get('disk_hits', 0)} / {totals.get('disk_builds', 0)}"),
+        ("memory-cache hits / misses",
+         f"{totals.get('memory_hits', 0)} / {totals.get('memory_misses', 0)}"),
+        ("health events", totals.get("health_events", 0)),
+    ]
+    status = "ok" if not totals.get("failed") else f"{totals.get('failed')} failed"
+    return (
+        f'<h2>Sweep summary — <span class="{cls}">{esc(status)}</span></h2>'
+        + table(["item", "value"], rows, left={0})
+    )
+
+
+def section_sweep_queue(manifest: dict) -> str:
+    samples = manifest.get("queue_depth_samples") or []
+    chart = svg_line_chart(
+        [s.get("depth") for s in samples], label="task-queue depth over the sweep"
+    )
+    return "<h2>Queue depth</h2>" + chart
+
+
+def section_sweep_scenarios(sweep_dir: Path, manifest: dict) -> str:
+    rows = []
+    charts = []
+    for entry in manifest.get("scenarios", []):
+        spec = entry.get("spec", {})
+        name = entry.get("name") or spec.get("name", "?")
+        status = entry.get("status", "?")
+        cache = entry.get("cache", {})
+        rows.append((
+            name,
+            spec.get("model", "?"),
+            "×".join(str(s) for s in spec.get("shape", [])),
+            spec.get("steps", "?"),
+            status,
+            fmt(entry.get("wall_seconds")),
+            fmt(entry.get("codegen_seconds")),
+            fmt(entry.get("mlups")),
+            f"{cache.get('disk_hits', 0)}/{cache.get('disk_builds', 0)}",
+            entry.get("health_events", "-"),
+        ))
+        if status == "ok" and entry.get("rundir"):
+            rundir = Path(entry["rundir"])
+            if not rundir.is_absolute():
+                rundir = sweep_dir / rundir
+            diag = load_diagnostics(rundir)
+            if diag:
+                names, columns = diag
+                interesting = [n for n in names if n not in ("time_step", "time")]
+                if interesting:
+                    charts.append(
+                        f"<h3>{esc(name)}</h3>"
+                        + svg_line_chart(
+                            columns[interesting[0]],
+                            width=420,
+                            height=90,
+                            label=f"{name}: {interesting[0]}",
+                        )
+                    )
+        elif status != "ok":
+            charts.append(
+                f"<h3>{esc(name)}</h3><pre>{esc(entry.get('error', 'failed'))}</pre>"
+            )
+    return (
+        "<h2>Scenarios</h2>"
+        + table(
+            ["scenario", "model", "shape", "steps", "status", "wall s",
+             "codegen s", "MLUP/s", "disk hit/build", "health"],
+            rows,
+        )
+        + "".join(charts)
+    )
+
+
+def render_sweep_report(sweep_dir: Path, manifest: dict) -> str:
+    title = f"sweep report — {sweep_dir.name}"
+    sections = [
+        section_sweep_summary(manifest),
+        section_sweep_queue(manifest),
+        section_sweep_scenarios(sweep_dir, manifest),
+    ]
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{esc(title)}</title><style>{_CSS}</style></head><body>"
+        f"<h1>{esc(title)}</h1>"
+        + "".join(sections)
+        + '<p class="muted">generated by tools/run_report.py — '
+        f"manifest schema {esc(manifest.get('schema', '?'))}</p>"
+        "</body></html>"
+    )
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[1])
-    ap.add_argument("rundir", help="run directory (or its manifest.json)")
+    ap.add_argument("rundir", help="run directory, sweep directory, or manifest")
     ap.add_argument("--out", metavar="PATH",
                     help="output HTML path (default <rundir>/report.html)")
     args = ap.parse_args(argv)
@@ -619,6 +725,18 @@ def main(argv=None) -> int:
     path = Path(args.rundir)
     if path.is_file():
         path = path.parent
+    if (path / "sweep.json").exists():
+        from repro.service.sweep import load_sweep_manifest
+
+        try:
+            manifest = load_sweep_manifest(path)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        out = Path(args.out) if args.out else path / "report.html"
+        out.write_text(render_sweep_report(path, manifest))
+        print(f"sweep report written to {out}")
+        return 0
     try:
         manifest = load_manifest(path)
     except (OSError, ValueError) as exc:
